@@ -1,0 +1,323 @@
+// Benchmarks: one testing.B benchmark per reproduction experiment
+// (E01–E17; see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the recorded tables), plus micro-benchmarks of the core algorithms.
+// Each experiment benchmark reports the paper's headline metric for that
+// artifact as custom b.ReportMetric values, so `go test -bench=.` both
+// times the code and regenerates the numbers.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/adversary"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func mustRun(b *testing.B, al core.Algorithm, src *access.Source, t agg.Func, k int) *core.Result {
+	b.Helper()
+	res, err := al.Run(src, t, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkE01Figure1 — Example 6.3: TA vs the wild-guess oracle.
+func BenchmarkE01Figure1(b *testing.B) {
+	in := adversary.Figure1(1000)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, in.Source(), in.Agg, in.K)
+		opp := mustRun(b, in.Opponent, in.Source(), in.Agg, in.K)
+		ratio = float64(ta.Stats.Accesses()) / float64(opp.Stats.Accesses())
+	}
+	b.ReportMetric(ratio, "TA/oracle")
+}
+
+// BenchmarkE02Figure2 — Example 6.8: TAθ on the distinctness database.
+func BenchmarkE02Figure2(b *testing.B) {
+	in := adversary.Figure2(1000, 2)
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, &core.TA{Theta: 2}, in.Source(), in.Agg, in.K)
+		rounds = float64(res.Rounds)
+	}
+	b.ReportMetric(rounds, "rounds")
+}
+
+// BenchmarkE03Figure3 — Example 7.3: TAz full scan vs 3-access proof.
+func BenchmarkE03Figure3(b *testing.B) {
+	in := adversary.Figure3(1000)
+	var accesses float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, &core.TA{}, in.Source(), in.Agg, in.K)
+		accesses = float64(res.Stats.Accesses())
+	}
+	b.ReportMetric(accesses, "TAz-accesses")
+}
+
+// BenchmarkE04Figure4 — Example 8.3: NRA halts at depth 2 for k=1.
+func BenchmarkE04Figure4(b *testing.B) {
+	in := adversary.Figure4(1000)
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, &core.NRA{}, in.Source(), in.Agg, in.K)
+		rounds = float64(res.Rounds)
+	}
+	b.ReportMetric(rounds, "rounds")
+}
+
+// BenchmarkE05Figure5 — Section 8.4: CA vs Intermittent cost ratio.
+func BenchmarkE05Figure5(b *testing.B) {
+	const h = 20
+	in := adversary.Figure5(h)
+	cm := access.CostModel{CS: 1, CR: h}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ca := mustRun(b, &core.CA{H: h}, in.Source(), in.Agg, in.K)
+		im := mustRun(b, &core.Intermittent{H: h}, in.Source(), in.Agg, in.K)
+		ratio = cm.Cost(im.Stats) / cm.Cost(ca.Stats)
+	}
+	b.ReportMetric(ratio, "Interm/CA")
+}
+
+// BenchmarkE06Theorem91 — TA's optimality ratio on the Theorem 9.1 family.
+func BenchmarkE06Theorem91(b *testing.B) {
+	const m, d = 3, 256
+	in := adversary.Theorem91(m, d)
+	cm := access.CostModel{CS: 1, CR: 4}
+	bound := float64(m) + float64(m*(m-1))*4
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, in.Source(), in.Agg, in.K)
+		opp := mustRun(b, in.Opponent, in.Source(), in.Agg, in.K)
+		ratio = cm.Cost(ta.Stats) / cm.Cost(opp.Stats)
+	}
+	b.ReportMetric(ratio, "ratio")
+	b.ReportMetric(bound, "bound")
+}
+
+// BenchmarkE07Theorem92 — worst-case CA ratio on the MinPlus family.
+func BenchmarkE07Theorem92(b *testing.B) {
+	const m, d, n, rho = 4, 16, 256, 8
+	cm := access.CostModel{CS: 1, CR: rho}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for tIdx := 1; tIdx <= d; tIdx += 4 {
+			in := adversary.Theorem92(m, d, n, tIdx)
+			ca := mustRun(b, &core.CA{H: rho}, in.Source(), in.Agg, in.K)
+			opp := mustRun(b, in.Opponent, in.Source(), in.Agg, in.K)
+			if r := cm.Cost(ca.Stats) / cm.Cost(opp.Stats); r > worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-CA-ratio")
+}
+
+// BenchmarkE08Theorem95 — NRA's ratio m on the Theorem 9.5 family.
+func BenchmarkE08Theorem95(b *testing.B) {
+	const m = 3
+	in := adversary.Theorem95(m, 96*m)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		nra := mustRun(b, &core.NRA{}, in.Source(), in.Agg, in.K)
+		opp := mustRun(b, in.Opponent, in.Source(), in.Agg, in.K)
+		ratio = float64(nra.Stats.Sorted) / float64(opp.Stats.Sorted)
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkE09CABounded — CA flat vs TA growing as cR/cS rises.
+func BenchmarkE09CABounded(b *testing.B) {
+	m, d := 3, 6
+	n := 1 + (d - 1) + (m-1)*(d*m-1) + d*(m-1) + 200
+	in := adversary.Theorem94(m, d, n)
+	cm := access.CostModel{CS: 1, CR: 64}
+	var caCost, taCost float64
+	for i := 0; i < b.N; i++ {
+		ca := mustRun(b, &core.CA{H: 64}, in.Source(), in.Agg, in.K)
+		ta := mustRun(b, &core.TA{}, in.Source(), in.Agg, in.K)
+		caCost, taCost = cm.Cost(ca.Stats), cm.Cost(ta.Stats)
+	}
+	b.ReportMetric(caCost, "CA-cost")
+	b.ReportMetric(taCost, "TA-cost")
+}
+
+// BenchmarkE10FAScaling — FA on independent uniform lists.
+func BenchmarkE10FAScaling(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 16000, M: 3, Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, core.FA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		cost = float64(res.Stats.Accesses())
+	}
+	b.ReportMetric(cost, "accesses")
+}
+
+// BenchmarkE11TAvsFADepth — TA halts no later than FA.
+func BenchmarkE11TAvsFADepth(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 10000, M: 3, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var taDepth, faDepth float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Avg(3), 5)
+		fa := mustRun(b, core.FA{}, access.New(db, access.AllowAll), agg.Avg(3), 5)
+		taDepth, faDepth = float64(ta.Stats.Depth()), float64(fa.Stats.Depth())
+	}
+	b.ReportMetric(taDepth, "TA-depth")
+	b.ReportMetric(faDepth, "FA-depth")
+}
+
+// BenchmarkE12Workloads — TA vs FA on correlated data.
+func BenchmarkE12Workloads(b *testing.B) {
+	db, err := workload.Correlated(workload.Spec{N: 20000, M: 3, Seed: 12}, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := access.CostModel{CS: 1, CR: 2}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		fa := mustRun(b, core.FA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		gap = cm.Cost(fa.Stats) / cm.Cost(ta.Stats)
+	}
+	b.ReportMetric(gap, "FA/TA")
+}
+
+// BenchmarkE13Buffers — TA's bounded buffer vs FA's growing one.
+func BenchmarkE13Buffers(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 50000, M: 3, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var taBuf, faBuf float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		fa := mustRun(b, core.FA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		taBuf, faBuf = float64(ta.Stats.MaxBuffered), float64(fa.Stats.MaxBuffered)
+	}
+	b.ReportMetric(taBuf, "TA-buffer")
+	b.ReportMetric(faBuf, "FA-buffer")
+}
+
+// BenchmarkE14Approximation — TAθ cost reduction at θ=1.25.
+func BenchmarkE14Approximation(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 20000, M: 3, Seed: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exact, approx float64
+	for i := 0; i < b.N; i++ {
+		e := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		a := mustRun(b, &core.TA{Theta: 1.25}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		exact, approx = float64(e.Stats.Accesses()), float64(a.Stats.Accesses())
+	}
+	b.ReportMetric(exact, "exact-accesses")
+	b.ReportMetric(approx, "approx-accesses")
+}
+
+// BenchmarkE15CAvsTA — cost crossover at cR/cS = 32.
+func BenchmarkE15CAvsTA(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 20000, M: 3, Seed: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := access.CostModel{CS: 1, CR: 32}
+	var taCost, caCost float64
+	for i := 0; i < b.N; i++ {
+		ta := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		ca := mustRun(b, &core.CA{Costs: cm}, access.New(db, access.AllowAll), agg.Avg(3), 10)
+		taCost, caCost = cm.Cost(ta.Stats), cm.Cost(ca.Stats)
+	}
+	b.ReportMetric(taCost, "TA-cost")
+	b.ReportMetric(caCost, "CA-cost")
+}
+
+// BenchmarkE16NRABookkeeping — rescan vs lazy engines (the ablation).
+func BenchmarkE16NRABookkeeping(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 10000, M: 3, Seed: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []core.Engine{core.RescanEngine, core.LazyEngine} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) {
+			var recomputes float64
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, &core.NRA{Engine: engine},
+					access.New(db, access.Policy{NoRandom: true}), agg.Avg(3), 10)
+				recomputes = float64(res.Stats.BoundRecomputes)
+			}
+			b.ReportMetric(recomputes, "recomputes")
+		})
+	}
+}
+
+// BenchmarkE17MaxAndSchedulers — max shortcut and the heuristic schedule.
+func BenchmarkE17MaxAndSchedulers(b *testing.B) {
+	db, err := workload.Zipf(workload.Spec{N: 20000, M: 3, Seed: 17}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("MaxTopK", func(b *testing.B) {
+		var accesses float64
+		for i := 0; i < b.N; i++ {
+			res := mustRun(b, core.MaxTopK{}, access.New(db, access.Policy{NoRandom: true}), agg.Max(3), 10)
+			accesses = float64(res.Stats.Accesses())
+		}
+		b.ReportMetric(accesses, "accesses")
+	})
+	b.Run("TA-lockstep", func(b *testing.B) {
+		var accesses float64
+		for i := 0; i < b.N; i++ {
+			res := mustRun(b, &core.TA{}, access.New(db, access.AllowAll), agg.Sum(3), 10)
+			accesses = float64(res.Stats.Accesses())
+		}
+		b.ReportMetric(accesses, "accesses")
+	})
+	b.Run("TA-delta", func(b *testing.B) {
+		var accesses float64
+		for i := 0; i < b.N; i++ {
+			res := mustRun(b, &core.TA{Sched: core.Delta{Fairness: 50}}, access.New(db, access.AllowAll), agg.Sum(3), 10)
+			accesses = float64(res.Stats.Accesses())
+		}
+		b.ReportMetric(accesses, "accesses")
+	})
+}
+
+// --- micro-benchmarks of the algorithms themselves ---
+
+func benchAlgo(b *testing.B, al core.Algorithm, pol access.Policy) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 20000, M: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := al.Run(access.New(db, pol), tf, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgoTA(b *testing.B) { benchAlgo(b, &core.TA{}, access.AllowAll) }
+func BenchmarkAlgoTAMemo(b *testing.B) {
+	benchAlgo(b, &core.TA{Memoize: true}, access.AllowAll)
+}
+func BenchmarkAlgoFA(b *testing.B)  { benchAlgo(b, core.FA{}, access.AllowAll) }
+func BenchmarkAlgoNRA(b *testing.B) { benchAlgo(b, &core.NRA{}, access.Policy{NoRandom: true}) }
+func BenchmarkAlgoCA(b *testing.B) {
+	benchAlgo(b, &core.CA{Costs: access.CostModel{CS: 1, CR: 8}}, access.AllowAll)
+}
+func BenchmarkAlgoNaive(b *testing.B) { benchAlgo(b, core.Naive{}, access.AllowAll) }

@@ -1,0 +1,63 @@
+// Command datagen emits synthetic middleware databases as CSV, in the
+// format cmd/topk consumes.
+//
+// Usage:
+//
+//	datagen -n 10000 -m 3 -workload uniform -seed 1 > db.csv
+//	datagen -n 10000 -m 3 -workload zipf -skew 3 > db.csv
+//	datagen -n 10000 -m 2 -workload correlated -noise 0.05 > db.csv
+//	datagen -n 10000 -m 4 -workload distinct > db.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 1000, "number of objects")
+		m     = flag.Int("m", 3, "number of attribute lists")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		kind  = flag.String("workload", "uniform", "uniform|zipf|correlated|anticorrelated|plateau|distinct|mixture")
+		skew  = flag.Float64("skew", 2, "zipf skew")
+		noise = flag.Float64("noise", 0.05, "correlation noise")
+		lvls  = flag.Int("levels", 8, "plateau grade levels")
+	)
+	flag.Parse()
+	spec := workload.Spec{N: *n, M: *m, Seed: *seed}
+	var (
+		db  *model.Database
+		err error
+	)
+	switch *kind {
+	case "uniform":
+		db, err = workload.IndependentUniform(spec)
+	case "zipf":
+		db, err = workload.Zipf(spec, *skew)
+	case "correlated":
+		db, err = workload.Correlated(spec, *noise)
+	case "anticorrelated":
+		db, err = workload.AntiCorrelated(spec, *noise)
+	case "plateau":
+		db, err = workload.Plateau(spec, *lvls)
+	case "distinct":
+		db, err = workload.DistinctUniform(spec)
+	case "mixture":
+		db, err = workload.Mixture(spec, []float64{0.4, 0.3, 0.3})
+	default:
+		err = fmt.Errorf("unknown workload %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := model.WriteCSV(os.Stdout, db); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates every reproduction experiment table
+// (E01–E17, see DESIGN.md). With no arguments it runs everything; with
+// experiment IDs as arguments it runs just those.
+//
+// Usage:
+//
+//	experiments            # run all
+//	experiments E05 E09    # run selected experiments
+//	experiments -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e := experiments.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,126 @@
+// Command topk runs a top-k aggregation query over a CSV database (the
+// format written by cmd/datagen and model.WriteCSV: a header row, then one
+// "id,g1,...,gm" row per object).
+//
+// Usage:
+//
+//	topk -data db.csv -agg min -k 10
+//	topk -data db.csv -agg avg -k 5 -algo CA -cs 1 -cr 10
+//	topk -data db.csv -agg sum -k 3 -algo NRA -no-random
+//	topk -data db.csv -agg avg -k 5 -theta 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV database file (required)")
+		aggName  = flag.String("agg", "min", "aggregation: min|max|sum|avg|product|median|geomean")
+		k        = flag.Int("k", 10, "number of answers")
+		algo     = flag.String("algo", "TA", "algorithm: TA|FA|NRA|CA|Naive|MaxTopK")
+		cs       = flag.Float64("cs", 1, "sorted access cost cS")
+		cr       = flag.Float64("cr", 1, "random access cost cR")
+		theta    = flag.Float64("theta", 0, "θ-approximation parameter (>1 enables TAθ)")
+		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "topk: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := readDB(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	t, err := aggByName(*aggName, db.M())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repro.Query(db, t, *k, repro.Options{
+		Algorithm:      repro.AlgorithmName(normalizeAlgo(*algo)),
+		Costs:          repro.CostModel{CS: *cs, CR: *cr},
+		Theta:          *theta,
+		NoRandomAccess: *noRandom,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("top %d under %s (%s, N=%d, m=%d):\n", *k, *aggName, normalizeAlgo(*algo), db.N(), db.M())
+	for i, it := range res.Items {
+		if res.GradesExact {
+			fmt.Printf("%3d. object %-8d grade %.6g\n", i+1, it.Object, float64(it.Grade))
+		} else {
+			fmt.Printf("%3d. object %-8d grade in [%.6g, %.6g]\n", i+1, it.Object, float64(it.Lower), float64(it.Upper))
+		}
+	}
+	cm := repro.CostModel{CS: *cs, CR: *cr}
+	fmt.Printf("accesses: %d sorted, %d random; middleware cost %.6g (cS=%g, cR=%g)\n",
+		res.Stats.Sorted, res.Stats.Random, res.Cost(cm), *cs, *cr)
+	if res.Theta > 1 {
+		fmt.Printf("approximation guarantee: θ = %.4g\n", res.Theta)
+	}
+}
+
+// normalizeAlgo maps user input to the canonical algorithm names.
+func normalizeAlgo(s string) string {
+	switch strings.ToLower(s) {
+	case "ta":
+		return string(repro.AlgoTA)
+	case "fa":
+		return string(repro.AlgoFA)
+	case "nra":
+		return string(repro.AlgoNRA)
+	case "ca":
+		return string(repro.AlgoCA)
+	case "naive":
+		return string(repro.AlgoNaive)
+	case "maxtopk":
+		return string(repro.AlgoMaxTopK)
+	}
+	return s
+}
+
+// readDB parses the CSV database format.
+func readDB(r io.Reader) (*repro.Database, error) { return model.ReadCSV(r) }
+
+// aggByName resolves an aggregation function by name and arity.
+func aggByName(name string, m int) (repro.AggFunc, error) {
+	switch strings.ToLower(name) {
+	case "min":
+		return agg.Min(m), nil
+	case "max":
+		return agg.Max(m), nil
+	case "sum":
+		return agg.Sum(m), nil
+	case "avg", "average":
+		return agg.Avg(m), nil
+	case "product":
+		return agg.Product(m), nil
+	case "median":
+		return agg.Median(m), nil
+	case "geomean":
+		return agg.GeometricMean(m), nil
+	}
+	return nil, fmt.Errorf("unknown aggregation %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topk:", err)
+	os.Exit(1)
+}

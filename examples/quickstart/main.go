@@ -1,0 +1,73 @@
+// Quickstart: build a small multimedia-style database, run the threshold
+// algorithm, and inspect the access accounting — the 60-second tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A database is m sorted lists over N objects; the builder takes one
+	// row per object with its grade in every list. Here: how red and
+	// how round each image is (the paper's introductory example).
+	b := repro.NewBuilder(2)
+	images := []struct {
+		name       string
+		red, round float64
+	}{
+		{"sunset", 0.95, 0.20},
+		{"tomato", 0.90, 0.85},
+		{"apple", 0.80, 0.90},
+		{"moon", 0.05, 0.99},
+		{"barn", 0.70, 0.10},
+		{"cherry", 0.85, 0.80},
+		{"brick", 0.60, 0.05},
+	}
+	names := make(map[repro.ObjectID]string)
+	for i, img := range images {
+		id := repro.ObjectID(i)
+		if err := b.Add(id, repro.Grade(img.red), repro.Grade(img.round)); err != nil {
+			log.Fatal(err)
+		}
+		names[id] = img.name
+	}
+	db := b.MustBuild()
+
+	// "Find the 3 images that are red AND round": fuzzy conjunction is
+	// min under the standard rules of fuzzy logic.
+	res, err := repro.TopK(db, repro.Min(2), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 3 red-and-round images (TA, t = min):")
+	for i, it := range res.Items {
+		fmt.Printf("  %d. %-7s grade %.2f\n", i+1, names[it.Object], float64(it.Grade))
+	}
+	fmt.Printf("cost: %d sorted + %d random accesses\n\n", res.Stats.Sorted, res.Stats.Random)
+
+	// The same query under a different aggregation: average rewards
+	// excelling anywhere, min demands both.
+	res, err = repro.Query(db, repro.Avg(2), 3, repro.Options{Algorithm: repro.AlgoTA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 3 by average grade:")
+	for i, it := range res.Items {
+		fmt.Printf("  %d. %-7s grade %.2f\n", i+1, names[it.Object], float64(it.Grade))
+	}
+
+	// When random access is expensive, CA rations it: compare the
+	// access mixes under cR/cS = 10.
+	costs := repro.CostModel{CS: 1, CR: 10}
+	ta, _ := repro.Query(db, repro.Min(2), 3, repro.Options{Costs: costs})
+	ca, err := repro.Query(db, repro.Min(2), 3, repro.Options{Algorithm: repro.AlgoCA, Costs: costs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith cR = 10·cS: TA cost %.0f, CA cost %.0f (CA made %d random accesses to TA's %d)\n",
+		ta.Cost(costs), ca.Cost(costs), ca.Stats.Random, ta.Stats.Random)
+}

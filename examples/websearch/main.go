@@ -1,0 +1,69 @@
+// Web search: the paper's information-retrieval scenario (Sections 1–2
+// and 8.1). Documents are scored per search term; the overall score is the
+// sum of per-term relevances. The sorted lists are served by search
+// engines, and — as the paper observes — "there does not seem to be a way
+// to ask a major search engine for its internal score on some document of
+// our choice": random access is impossible, so the middleware runs NRA and
+// returns the top documents, possibly without exact scores.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const nDocs = 50000
+	terms := []string{"optimal", "aggregation", "middleware"}
+	rng := rand.New(rand.NewSource(42))
+
+	// Per-term relevance: a few documents are highly relevant to each
+	// term (Zipf-like), and relevance across terms is weakly correlated
+	// through a latent topicality.
+	b := repro.NewBuilder(len(terms))
+	for i := 0; i < nDocs; i++ {
+		topical := rng.Float64()
+		gs := make([]repro.Grade, len(terms))
+		for j := range gs {
+			rel := 0.7*math.Pow(rng.Float64(), 6) + 0.3*topical*rng.Float64()
+			gs[j] = repro.Grade(rel)
+		}
+		b.MustAdd(repro.ObjectID(i), gs...)
+	}
+	db := b.MustBuild()
+
+	res, err := repro.Query(db, repro.Sum(len(terms)), 10, repro.Options{
+		NoRandomAccess: true, // search engines do not answer score probes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q over %d documents (NRA, t = sum, no random access):\n", terms, nDocs)
+	for i, it := range res.Items {
+		if res.GradesExact {
+			fmt.Printf("  %2d. doc-%05d  score %.4f\n", i+1, it.Object, float64(it.Grade))
+		} else {
+			fmt.Printf("  %2d. doc-%05d  score in [%.4f, %.4f]\n",
+				i+1, it.Object, float64(it.Lower), float64(it.Upper))
+		}
+	}
+	if !res.GradesExact {
+		fmt.Println("  (scores are intervals: NRA proves the top-k set without pinning every score,")
+		fmt.Println("   like search engines that rank without exposing scores — Section 8.1)")
+	}
+	fmt.Printf("accesses: %d sorted, %d random; depth %d of %d per list\n",
+		res.Stats.Sorted, res.Stats.Random, res.Stats.Depth(), nDocs)
+
+	// The exact-scores alternative costs more: compare against TA on the
+	// same data (possible only when engines would answer probes).
+	ta, err := repro.Query(db, repro.Sum(len(terms)), 10, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("if probes were possible, TA would pay %d sorted + %d random accesses for exact scores\n",
+		ta.Stats.Sorted, ta.Stats.Random)
+}

@@ -1,0 +1,273 @@
+// Package access implements the middleware access model of Fagin, Lotem and
+// Naor (PODS 2001): algorithms observe a database only through sorted access
+// (proceeding down a list from the top, cost cS each) and random access
+// (probing an object's grade in a list, cost cR each). The package provides
+// the cost model, per-run accounting, capability policies (random access
+// impossible, sorted access restricted to a subset Z of lists), and
+// simulated subsystems standing in for the paper's QBIC/web sources.
+package access
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CostModel carries the two positive access costs cS (sorted) and cR
+// (random). The middleware cost of a run with s sorted and r random
+// accesses is s·cS + r·cR.
+type CostModel struct {
+	CS float64 // cost of one sorted access
+	CR float64 // cost of one random access
+}
+
+// UnitCosts is the cS = cR = 1 cost model used when only access counts
+// matter.
+var UnitCosts = CostModel{CS: 1, CR: 1}
+
+// H returns h = ⌊cR/cS⌋, the random-access phase period of algorithm CA.
+// The paper assumes cR ≥ cS in Section 8.2, so H ≥ 1 there; H clamps to a
+// minimum of 1 so CA remains well-defined for any positive costs.
+func (c CostModel) H() int {
+	if c.CS <= 0 {
+		panic("access: CostModel.CS must be positive")
+	}
+	h := int(c.CR / c.CS)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Cost returns the middleware cost of the recorded accesses.
+func (c CostModel) Cost(s Stats) float64 {
+	return float64(s.Sorted)*c.CS + float64(s.Random)*c.CR
+}
+
+// Stats records everything an algorithm run consumed or touched. It is the
+// measured quantity in all instance-optimality experiments, plus
+// instrumentation (buffer occupancy, bookkeeping work) for the ablations.
+type Stats struct {
+	Sorted  int64   // total sorted accesses
+	Random  int64   // total random accesses
+	PerList []int64 // sorted-access depth reached in each list
+
+	WildGuesses int64 // random accesses to objects never seen under sorted access
+
+	MaxBuffered     int   // peak number of objects the algorithm retained
+	BoundRecomputes int64 // B/W bound evaluations (NRA/CA bookkeeping metric)
+}
+
+// Depth returns the maximum sorted depth over all lists (the paper's d).
+func (s Stats) Depth() int64 {
+	var d int64
+	for _, p := range s.PerList {
+		if p > d {
+			d = p
+		}
+	}
+	return d
+}
+
+// Accesses returns the total number of accesses of both kinds.
+func (s Stats) Accesses() int64 { return s.Sorted + s.Random }
+
+// Policy declares which access modes are available, modelling the paper's
+// restricted scenarios. Zero value: everything allowed.
+type Policy struct {
+	// NoRandom forbids all random access (the search-engine scenario of
+	// Section 2; algorithm NRA operates under this policy).
+	NoRandom bool
+	// SortedLists, when non-nil, is the set Z of list indices that allow
+	// sorted access (Section 7's restricted scenario; TAz). Lists outside
+	// Z allow only random access.
+	SortedLists map[int]bool
+}
+
+// AllowAll is the unrestricted policy.
+var AllowAll = Policy{}
+
+// OnlySorted returns a policy permitting sorted access solely on the given
+// lists (and random access everywhere), i.e. Section 7's Z.
+func OnlySorted(lists ...int) Policy {
+	z := make(map[int]bool, len(lists))
+	for _, i := range lists {
+		z[i] = true
+	}
+	return Policy{SortedLists: z}
+}
+
+// CanSorted reports whether sorted access is allowed on list i.
+func (p Policy) CanSorted(i int) bool {
+	if p.SortedLists == nil {
+		return true
+	}
+	return p.SortedLists[i]
+}
+
+// CanRandom reports whether random access is allowed on list i.
+func (p Policy) CanRandom(i int) bool { return !p.NoRandom }
+
+// ListSource is one attribute list as a subsystem exposes it: positional
+// reads for sorted access and keyed probes for random access. model.List
+// satisfies it; so do the simulated remote subsystems in this package.
+type ListSource interface {
+	// Len is the number of entries in the list (the paper's N).
+	Len() int
+	// At returns the entry at sorted position pos (0-based from the top).
+	At(pos int) model.Entry
+	// GradeOf returns obj's grade, and whether obj is present.
+	GradeOf(obj model.ObjectID) (model.Grade, bool)
+}
+
+// Violation is the panic value raised when an algorithm attempts an access
+// its policy forbids; it indicates an algorithm bug, not an input error.
+type Violation struct {
+	Op   string
+	List int
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("access: %s access to list %d violates policy", v.Op, v.List)
+}
+
+// Source is a live, accounting view over a database: cursors for sorted
+// access, keyed probes for random access, and capability flags. Every
+// algorithm in internal/core runs against a Source and nothing else.
+type Source struct {
+	lists  []ListSource
+	pos    []int // next unread sorted position per list
+	policy Policy
+	stats  Stats
+
+	seenSorted map[model.ObjectID]bool // for wild-guess detection
+	trace      *Trace                  // optional access recorder
+}
+
+// New creates a Source over db with the given policy.
+func New(db *model.Database, policy Policy) *Source {
+	lists := make([]ListSource, db.M())
+	for i := 0; i < db.M(); i++ {
+		lists[i] = db.List(i)
+	}
+	return FromLists(lists, policy)
+}
+
+// FromLists creates a Source over arbitrary list subsystems (all must have
+// equal length).
+func FromLists(lists []ListSource, policy Policy) *Source {
+	if len(lists) == 0 {
+		panic("access: need at least one list")
+	}
+	n := lists[0].Len()
+	for i, l := range lists {
+		if l.Len() != n {
+			panic(fmt.Sprintf("access: list %d has %d entries, want %d", i, l.Len(), n))
+		}
+	}
+	return &Source{
+		lists:      lists,
+		pos:        make([]int, len(lists)),
+		policy:     policy,
+		stats:      Stats{PerList: make([]int64, len(lists))},
+		seenSorted: make(map[model.ObjectID]bool),
+	}
+}
+
+// M returns the number of lists.
+func (s *Source) M() int { return len(s.lists) }
+
+// N returns the number of objects (each list has one entry per object).
+func (s *Source) N() int { return s.lists[0].Len() }
+
+// CanSorted reports whether the policy permits sorted access on list i.
+func (s *Source) CanSorted(i int) bool { return s.policy.CanSorted(i) }
+
+// CanRandom reports whether the policy permits random access on list i.
+func (s *Source) CanRandom(i int) bool { return s.policy.CanRandom(i) }
+
+// Exhausted reports whether sorted access on list i has consumed every
+// entry.
+func (s *Source) Exhausted(i int) bool { return s.pos[i] >= s.lists[i].Len() }
+
+// SortedNext performs one sorted access on list i, returning the next entry
+// from the top. ok is false when the list is exhausted (no cost charged).
+// It panics with Violation if the policy forbids sorted access on i.
+func (s *Source) SortedNext(i int) (e model.Entry, ok bool) {
+	if !s.policy.CanSorted(i) {
+		panic(Violation{Op: "sorted", List: i})
+	}
+	if s.pos[i] >= s.lists[i].Len() {
+		if s.trace != nil {
+			s.trace.Entries = append(s.trace.Entries, TraceEntry{Sorted: true, List: i})
+		}
+		return model.Entry{}, false
+	}
+	e = s.lists[i].At(s.pos[i])
+	s.pos[i]++
+	s.stats.Sorted++
+	s.stats.PerList[i]++
+	s.seenSorted[e.Object] = true
+	if s.trace != nil {
+		s.trace.Entries = append(s.trace.Entries, TraceEntry{
+			Sorted: true, List: i, Object: e.Object, Grade: e.Grade, OK: true,
+		})
+	}
+	return e, true
+}
+
+// Random performs one random access: obj's grade in list i. ok is false if
+// obj is absent (never the case for well-formed databases). It panics with
+// Violation if the policy forbids random access on i.
+func (s *Source) Random(i int, obj model.ObjectID) (g model.Grade, ok bool) {
+	if !s.policy.CanRandom(i) {
+		panic(Violation{Op: "random", List: i})
+	}
+	g, ok = s.lists[i].GradeOf(obj)
+	if !ok {
+		if s.trace != nil {
+			s.trace.Entries = append(s.trace.Entries, TraceEntry{List: i, Object: obj})
+		}
+		return 0, false
+	}
+	s.stats.Random++
+	if !s.seenSorted[obj] {
+		s.stats.WildGuesses++
+	}
+	if s.trace != nil {
+		s.trace.Entries = append(s.trace.Entries, TraceEntry{
+			List: i, Object: obj, Grade: g, OK: true,
+		})
+	}
+	return g, true
+}
+
+// ReportBuffer lets an algorithm report its current buffered-object count;
+// the peak is recorded (Theorem 4.2's bounded-buffer measurement).
+func (s *Source) ReportBuffer(n int) {
+	if n > s.stats.MaxBuffered {
+		s.stats.MaxBuffered = n
+	}
+}
+
+// CountBoundRecompute increments the B/W bound evaluation counter by n
+// (Remark 8.7's bookkeeping-cost measurement).
+func (s *Source) CountBoundRecompute(n int64) { s.stats.BoundRecomputes += n }
+
+// Stats returns a copy of the accumulated accounting.
+func (s *Source) Stats() Stats {
+	out := s.stats
+	out.PerList = make([]int64, len(s.stats.PerList))
+	copy(out.PerList, s.stats.PerList)
+	return out
+}
+
+// Reset rewinds all cursors and zeroes the accounting so the same Source
+// can serve another run.
+func (s *Source) Reset() {
+	for i := range s.pos {
+		s.pos[i] = 0
+	}
+	s.stats = Stats{PerList: make([]int64, len(s.lists))}
+	s.seenSorted = make(map[model.ObjectID]bool)
+}

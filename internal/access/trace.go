@@ -1,0 +1,128 @@
+package access
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TraceEntry records one access made through a traced Source.
+type TraceEntry struct {
+	// Sorted distinguishes the access mode.
+	Sorted bool
+	// List is the list accessed.
+	List int
+	// Object is the object returned (sorted) or probed (random).
+	Object model.ObjectID
+	// Grade is the grade observed.
+	Grade model.Grade
+	// OK is false for a sorted access on an exhausted list or a probe
+	// of an absent object.
+	OK bool
+}
+
+// String renders the entry compactly, e.g. "S0→12(0.83)" or "R2(7)=0.4".
+func (e TraceEntry) String() string {
+	if !e.OK {
+		if e.Sorted {
+			return fmt.Sprintf("S%d→∅", e.List)
+		}
+		return fmt.Sprintf("R%d(%d)=∅", e.List, e.Object)
+	}
+	if e.Sorted {
+		return fmt.Sprintf("S%d→%d(%.3g)", e.List, e.Object, float64(e.Grade))
+	}
+	return fmt.Sprintf("R%d(%d)=%.3g", e.List, e.Object, float64(e.Grade))
+}
+
+// Trace captures the exact access sequence of a run. It is attached to a
+// Source with StartTrace and used by tests to validate access patterns
+// (e.g. that TA's sorted accesses are "in parallel": per-list rates within
+// one step of each other under the lockstep schedule), and by debugging
+// tools to replay a run.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// String joins all entries.
+func (t *Trace) String() string {
+	parts := make([]string, len(t.Entries))
+	for i, e := range t.Entries {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// SortedCounts returns per-list sorted-access counts at each prefix index
+// where a sorted access happened; used to check rate balance.
+func (t *Trace) SortedCounts(m int) []int {
+	counts := make([]int, m)
+	for _, e := range t.Entries {
+		if e.Sorted && e.OK {
+			counts[e.List]++
+		}
+	}
+	return counts
+}
+
+// MaxSortedImbalance returns the largest difference, over all prefixes of
+// the trace, between the most- and least-accessed list among those in
+// allowed (nil = all lists). Lockstep schedules keep this at 1.
+func (t *Trace) MaxSortedImbalance(m int, allowed map[int]bool) int {
+	counts := make([]int, m)
+	worst := 0
+	for _, e := range t.Entries {
+		if !e.Sorted || !e.OK {
+			continue
+		}
+		counts[e.List]++
+		lo, hi := -1, 0
+		for i, c := range counts {
+			if allowed != nil && !allowed[i] {
+				continue
+			}
+			if lo == -1 || c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > worst {
+			worst = hi - lo
+		}
+	}
+	return worst
+}
+
+// WildGuessIndexes returns the trace positions of random accesses to
+// objects not previously seen under sorted access.
+func (t *Trace) WildGuessIndexes() []int {
+	seen := make(map[model.ObjectID]bool)
+	var out []int
+	for i, e := range t.Entries {
+		if e.Sorted {
+			if e.OK {
+				seen[e.Object] = true
+			}
+			continue
+		}
+		if !seen[e.Object] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StartTrace begins recording every access on the source into the returned
+// Trace. Recording survives Reset (the trace keeps growing); pass the
+// trace to StopTrace to detach it.
+func (s *Source) StartTrace() *Trace {
+	t := &Trace{}
+	s.trace = t
+	return t
+}
+
+// StopTrace detaches any attached trace.
+func (s *Source) StopTrace() { s.trace = nil }

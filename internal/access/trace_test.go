@@ -1,0 +1,96 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTraceRecordsAccesses(t *testing.T) {
+	src := New(testDB(t), AllowAll)
+	trace := src.StartTrace()
+	src.SortedNext(0)
+	src.Random(1, 1)
+	src.SortedNext(1)
+	if len(trace.Entries) != 3 {
+		t.Fatalf("trace has %d entries, want 3", len(trace.Entries))
+	}
+	if !trace.Entries[0].Sorted || trace.Entries[0].List != 0 || trace.Entries[0].Object != 1 {
+		t.Fatalf("entry 0 = %+v", trace.Entries[0])
+	}
+	if trace.Entries[1].Sorted || trace.Entries[1].Object != 1 {
+		t.Fatalf("entry 1 = %+v", trace.Entries[1])
+	}
+	s := trace.String()
+	for _, want := range []string{"S0→1", "R1(1)", "S1→"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTraceMarksFailures(t *testing.T) {
+	src := New(testDB(t), AllowAll)
+	trace := src.StartTrace()
+	for i := 0; i < 4; i++ {
+		src.SortedNext(0) // 4th is exhausted
+	}
+	src.Random(0, model.ObjectID(77)) // absent
+	if got := len(trace.Entries); got != 5 {
+		t.Fatalf("trace has %d entries, want 5", got)
+	}
+	if trace.Entries[3].OK {
+		t.Error("exhausted sorted access marked OK")
+	}
+	if trace.Entries[4].OK {
+		t.Error("absent probe marked OK")
+	}
+	if !strings.Contains(trace.Entries[3].String(), "∅") {
+		t.Errorf("failure rendering = %q", trace.Entries[3].String())
+	}
+}
+
+func TestTraceWildGuessIndexes(t *testing.T) {
+	src := New(testDB(t), AllowAll)
+	trace := src.StartTrace()
+	src.Random(0, 2)  // wild: object 2 unseen
+	src.SortedNext(0) // sees object 1
+	src.Random(1, 1)  // tame
+	src.Random(1, 3)  // wild
+	got := trace.WildGuessIndexes()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("wild guess indexes = %v, want [0 3]", got)
+	}
+}
+
+func TestTraceImbalance(t *testing.T) {
+	src := New(testDB(t), AllowAll)
+	trace := src.StartTrace()
+	src.SortedNext(0)
+	src.SortedNext(0)
+	src.SortedNext(0) // list 0 at 3, list 1 at 0 → imbalance 3
+	src.SortedNext(1)
+	if got := trace.MaxSortedImbalance(2, nil); got != 3 {
+		t.Fatalf("imbalance = %d, want 3", got)
+	}
+	counts := trace.SortedCounts(2)
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Restricted view: only list 0 considered.
+	if got := trace.MaxSortedImbalance(2, map[int]bool{0: true}); got != 0 {
+		t.Fatalf("restricted imbalance = %d, want 0", got)
+	}
+}
+
+func TestStopTrace(t *testing.T) {
+	src := New(testDB(t), AllowAll)
+	trace := src.StartTrace()
+	src.SortedNext(0)
+	src.StopTrace()
+	src.SortedNext(0)
+	if len(trace.Entries) != 1 {
+		t.Fatalf("trace grew after StopTrace: %d entries", len(trace.Entries))
+	}
+}

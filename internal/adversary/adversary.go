@@ -1,0 +1,308 @@
+// Package adversary constructs the paper's worked example databases
+// (Figures 1–5) and lower-bound families (Theorems 9.1, 9.2, 9.5, and the
+// distinctness variant behind Theorem 9.4), each paired with the cheap
+// "opponent" the corresponding proof compares against. Opponents are
+// core.Scripted oracles: they realize the paper's nondeterministic
+// shortest-proof view of instance optimality (Section 5), and the
+// experiments measure each algorithm's middleware cost against them.
+// Tests verify every opponent's answer against the Naive ground truth.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Instance is one adversarial database together with its query and its
+// opponent.
+type Instance struct {
+	// Name identifies the construction, e.g. "figure1(n=100)".
+	Name string
+	// DB is the database.
+	DB *model.Database
+	// Agg and K define the query.
+	Agg agg.Func
+	K   int
+	// Policy is the access policy the scenario imposes (e.g. Z={0} for
+	// Example 7.3).
+	Policy access.Policy
+	// Opponent is the proof-cost algorithm the construction's theorem
+	// compares against.
+	Opponent *core.Scripted
+	// Answer is the unique expected top-k grade multiset (descending),
+	// used by tests.
+	Answer []model.Grade
+}
+
+// Source returns a fresh accounting Source for the instance.
+func (in *Instance) Source() *access.Source { return access.New(in.DB, in.Policy) }
+
+// mustPresorted builds a presorted list or panics; constructions are
+// statically correct by design.
+func mustPresorted(entries []model.Entry) *model.List {
+	l, err := model.NewListPresorted(entries)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func mustDB(lists []*model.List) *model.Database {
+	db, err := model.NewDatabase(lists)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Figure1 builds Example 6.3 (the paper's Figure 1): 2n+1 objects, two
+// lists, aggregation min, k=1. List L1 holds objects 1,…,2n+1 in order with
+// the top n+1 at grade 1 and the rest at 0; L2 holds the reverse order.
+// Object n+1 is the unique object with overall grade 1, buried in the
+// middle of both lists, so any algorithm that makes no wild guesses needs
+// at least n+1 sorted accesses — while the wild-guess opponent pays two
+// random accesses.
+func Figure1(n int) *Instance {
+	if n < 1 {
+		panic("adversary: Figure1 needs n >= 1")
+	}
+	total := 2*n + 1
+	winner := model.ObjectID(n + 1)
+	l1 := make([]model.Entry, 0, total)
+	for i := 1; i <= total; i++ {
+		g := model.Grade(0)
+		if i <= n+1 {
+			g = 1
+		}
+		l1 = append(l1, model.Entry{Object: model.ObjectID(i), Grade: g})
+	}
+	l2 := make([]model.Entry, 0, total)
+	for i := total; i >= 1; i-- {
+		g := model.Grade(0)
+		if i >= n+1 {
+			g = 1
+		}
+		l2 = append(l2, model.Entry{Object: model.ObjectID(i), Grade: g})
+	}
+	db := mustDB([]*model.List{mustPresorted(l1), mustPresorted(l2)})
+	opp := &core.Scripted{
+		Label: "wild-guess",
+		Steps: []core.ScriptStep{
+			core.RandomStep(0, winner),
+			core.RandomStep(1, winner),
+		},
+		Answer: []core.Scored{{Object: winner, Grade: 1, Lower: 1, Upper: 1}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure1(n=%d)", n),
+		DB:       db,
+		Agg:      agg.Min(2),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{1},
+	}
+}
+
+// Figure2 builds Example 6.8 (Figure 2): the θ-approximation analogue of
+// Figure 1, with all grades distinct. Object n+1 has grade 1/θ in both
+// lists; object n+2 has grade 1/(2θ²) in L1 and object n has 1/(2θ²) in L2.
+// Every object other than n+1 has overall grade at most 1/(2θ²), so n+1 is
+// the only valid θ-approximate top answer, yet it sits in the middle of
+// both lists. The wild-guess opponent again pays two random accesses.
+func Figure2(n int, theta float64) *Instance {
+	if n < 1 || theta <= 1 {
+		panic("adversary: Figure2 needs n >= 1 and θ > 1")
+	}
+	total := 2*n + 1
+	winner := model.ObjectID(n + 1)
+	hi := model.Grade(1 / theta)               // grade of object n+1
+	lo := model.Grade(1 / (2 * theta * theta)) // grade of the runner-up
+
+	// gradeL1[i] for object i (1-based): strictly decreasing in i.
+	gradeL1 := make([]model.Grade, total+1)
+	d1 := (1 - hi) / model.Grade(n+2)
+	for i := 1; i <= n; i++ {
+		gradeL1[i] = hi + model.Grade(n+1-i)*d1
+	}
+	gradeL1[n+1] = hi
+	gradeL1[n+2] = lo
+	d2 := lo / model.Grade(n+2)
+	for i := n + 3; i <= total; i++ {
+		gradeL1[i] = model.Grade(total+1-i) * d2
+	}
+	l1 := make([]model.Entry, 0, total)
+	for i := 1; i <= total; i++ {
+		l1 = append(l1, model.Entry{Object: model.ObjectID(i), Grade: gradeL1[i]})
+	}
+	// L2 mirrors L1: object i's grade in L2 equals object (2n+2−i)'s
+	// grade in L1, and the list order is reversed.
+	l2 := make([]model.Entry, 0, total)
+	for i := total; i >= 1; i-- {
+		l2 = append(l2, model.Entry{Object: model.ObjectID(i), Grade: gradeL1[total+1-i]})
+	}
+	db := mustDB([]*model.List{mustPresorted(l1), mustPresorted(l2)})
+	opp := &core.Scripted{
+		Label: "wild-guess",
+		Steps: []core.ScriptStep{
+			core.RandomStep(0, winner),
+			core.RandomStep(1, winner),
+		},
+		Answer: []core.Scored{{Object: winner, Grade: hi, Lower: hi, Upper: hi}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure2(n=%d,θ=%g)", n, theta),
+		DB:       db,
+		Agg:      agg.Min(2),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{hi},
+	}
+}
+
+// Figure3 builds Example 7.3 (Figure 3): three lists with sorted access
+// restricted to Z = {L1}, aggregation Gate (strict and strictly monotone),
+// k = 1, distinct grades. Object R tops L1 and L3 with grade 1 and has 0.6
+// in L2, so t(R) = 0.6; every other object has z ≠ 1 and grade ≤ 0.59 in
+// L2, hence t ≤ 0.295. The minimum grade in L1 is above 0.7, so TAz's
+// threshold never falls below 0.7 and TAz reads the entire database, while
+// the opponent pays one sorted access and two random accesses.
+func Figure3(n int) *Instance {
+	if n < 3 {
+		panic("adversary: Figure3 needs n >= 3")
+	}
+	r := model.ObjectID(0)
+	b := model.NewBuilder(3)
+	b.MustAdd(r, 1, 0.6, 1)
+	for i := 1; i < n; i++ {
+		frac := model.Grade(n-i) / model.Grade(n+1)
+		b.MustAdd(model.ObjectID(i),
+			0.7+0.3*frac*0.999+0.0001, // distinct values in (0.7, 1)
+			0.59*frac+0.0001,          // distinct values in (0, 0.59]
+			0.9*frac+0.0001,           // distinct values in (0, 0.9], never 1
+		)
+	}
+	db := b.MustBuild()
+	opp := &core.Scripted{
+		Label: "sorted-then-probe",
+		Steps: []core.ScriptStep{
+			core.SortedStep(0),
+			core.RandomStep(1, r),
+			core.RandomStep(2, r),
+		},
+		Answer: []core.Scored{{Object: r, Grade: 0.6, Lower: 0.6, Upper: 0.6}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure3(n=%d)", n),
+		DB:       db,
+		Agg:      agg.Gate(),
+		K:        1,
+		Policy:   access.OnlySorted(0),
+		Opponent: opp,
+		Answer:   []model.Grade{0.6},
+	}
+}
+
+// Figure4 builds Example 8.3 (Figure 4): aggregation average, two lists,
+// n objects. Object R has grade 1 in L1 and 0 (bottom) in L2; every other
+// object has grade 1/3 in both. After two rounds of sorted access NRA can
+// prove R is the top object (W(R) = 1/2 beats every other B = 1/3) without
+// knowing R's grade — determining the grade would require scanning all of
+// L2. The opponent performs the three sorted accesses the paper cites.
+func Figure4(n int) *Instance {
+	if n < 3 {
+		panic("adversary: Figure4 needs n >= 3")
+	}
+	r := model.ObjectID(0)
+	// The 1/3-plateau is laid out in opposite id order in the two lists
+	// (the paper leaves tie order unspecified; opposite order keeps the
+	// plateau objects from resolving early, which the C1 < C2 claim
+	// needs).
+	l1 := make([]model.Entry, 0, n)
+	l1 = append(l1, model.Entry{Object: r, Grade: 1})
+	for i := 1; i < n; i++ {
+		l1 = append(l1, model.Entry{Object: model.ObjectID(i), Grade: 1.0 / 3})
+	}
+	l2 := make([]model.Entry, 0, n)
+	for i := n - 1; i >= 1; i-- {
+		l2 = append(l2, model.Entry{Object: model.ObjectID(i), Grade: 1.0 / 3})
+	}
+	l2 = append(l2, model.Entry{Object: r, Grade: 0})
+	db := mustDB([]*model.List{mustPresorted(l1), mustPresorted(l2)})
+	opp := &core.Scripted{
+		Label: "three-sorted",
+		Steps: []core.ScriptStep{
+			core.SortedStep(0), core.SortedStep(0), core.SortedStep(1),
+		},
+		Answer:        []core.Scored{{Object: r, Grade: 0.5, Lower: 0.5, Upper: 0.5}},
+		InexactGrades: true,
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure4(n=%d)", n),
+		DB:       db,
+		Agg:      agg.Avg(2),
+		K:        1,
+		Policy:   access.Policy{NoRandom: true},
+		Opponent: opp,
+		Answer:   []model.Grade{0.5},
+	}
+}
+
+// Figure4Reversed is the paper's modification of Example 8.3 showing
+// C2 < C1: two objects R, R' have grade 1 in L1; R' has 1/4 in L2 and R
+// has 0; all others have 1/3 everywhere. Finding the top 2 halts after two
+// rounds (both have W = 1/2 ≥ every other B = 1/3), but finding the top 1
+// requires distinguishing R' (5/8) from R (1/2), which needs L2 scanned
+// nearly to the bottom.
+func Figure4Reversed(n int) *Instance {
+	if n < 4 {
+		panic("adversary: Figure4Reversed needs n >= 4")
+	}
+	r, rp := model.ObjectID(0), model.ObjectID(1)
+	l1 := make([]model.Entry, 0, n)
+	l1 = append(l1,
+		model.Entry{Object: r, Grade: 1},
+		model.Entry{Object: rp, Grade: 1})
+	for i := 2; i < n; i++ {
+		l1 = append(l1, model.Entry{Object: model.ObjectID(i), Grade: 1.0 / 3})
+	}
+	l2 := make([]model.Entry, 0, n)
+	for i := n - 1; i >= 2; i-- {
+		l2 = append(l2, model.Entry{Object: model.ObjectID(i), Grade: 1.0 / 3})
+	}
+	l2 = append(l2,
+		model.Entry{Object: rp, Grade: 0.25},
+		model.Entry{Object: r, Grade: 0})
+	db := mustDB([]*model.List{mustPresorted(l1), mustPresorted(l2)})
+	// Three accesses down L1 drop its bottom to 1/3 (R, R', filler),
+	// and one access to L2 drops its bottom to 1/3, so the unseen bound
+	// avg(1/3, 1/3) = 1/3 no longer threatens the answers' W = 1/2 —
+	// two accesses per list would leave L1's bottom at 1 and prove
+	// nothing.
+	opp := &core.Scripted{
+		Label: "four-sorted",
+		Steps: []core.ScriptStep{
+			core.SortedStep(0), core.SortedStep(0), core.SortedStep(0),
+			core.SortedStep(1),
+		},
+		Answer: []core.Scored{
+			{Object: rp, Grade: 0.625, Lower: 0.5, Upper: 1},
+			{Object: r, Grade: 0.5, Lower: 0.5, Upper: 1},
+		},
+		InexactGrades: true,
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure4rev(n=%d)", n),
+		DB:       db,
+		Agg:      agg.Avg(2),
+		K:        2,
+		Policy:   access.Policy{NoRandom: true},
+		Opponent: opp,
+		Answer:   []model.Grade{0.625, 0.5},
+	}
+}

@@ -1,0 +1,133 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Figure5 builds the Section 8.4 database separating CA from the
+// intermittent algorithm (and from TA), for a given h = cR/cS ≥ 3:
+//
+//   - t(x₁,x₂,x₃) = x₁+x₂+x₃, k = 1, N = h² objects.
+//   - L1 and L2: positions 1..h−2 hold disjoint sets of objects with
+//     grades ½ + i/(8h) (i = h−2..1); position h−1 holds R with grade ½;
+//     position h holds grade ⅛; the tail falls below ⅛.
+//   - L3: positions 1..h²−1 hold all non-R objects with grades
+//     ½ + i/(8h²); position h² holds R with grade ½.
+//
+// R's overall grade is 3/2; every object in the top h−2 of L1 or L2 grades
+// at most 11/8. CA resolves R with a single random access at its first
+// phase (depth h), while the intermittent algorithm first burns two random
+// accesses on each of the 3(h−2) top objects, and TA does the same — so
+// their costs exceed CA's by a factor that grows linearly in h. The
+// opponent is CA's own proof: h·3 sorted accesses plus one random access.
+func Figure5(h int) *Instance {
+	if h < 3 {
+		panic("adversary: Figure5 needs h >= 3")
+	}
+	n := h * h
+	nFill := n - 1 - 2*(h-2) // non-R objects that are not L1/L2 top objects
+	if nFill < 2 {
+		panic("adversary: Figure5 internal sizing error")
+	}
+
+	// ids: R = 0; A_i = 1..h-2 (L1 top); B_i = h-1..2h-4 (L2 top);
+	// fillers F = 2h-3..n-1. F[0] carries the grade-1/8 slot in L1 and
+	// F[1] in L2.
+	r := model.ObjectID(0)
+	aID := func(i int) model.ObjectID { return model.ObjectID(i) }               // 1..h-2
+	bID := func(i int) model.ObjectID { return model.ObjectID(h - 2 + i) }       // i=1..h-2
+	fID := func(i int) model.ObjectID { return model.ObjectID(2*(h-2) + 1 + i) } // i=0..nFill-1
+
+	grades := make(map[model.ObjectID][3]model.Grade, n)
+	lowPool := func(rank int) model.Grade {
+		// Distinct grades strictly below 1/8, descending in rank.
+		return model.Grade(1.0/8) * model.Grade(nFill+h-rank) / model.Grade(nFill+h+2)
+	}
+
+	// L3 slots: non-R object with slot s gets ½ + s/(8h²), s = 1..h²−1.
+	// Small ids (the L1/L2 top objects) get small slots, i.e. deep L3
+	// positions, so — as in the paper's figure — the top of L3 is
+	// occupied by filler objects and the L1/L2 top objects stay unseen
+	// in L3 for a long time.
+	l3Slot := make(map[model.ObjectID]int, n-1)
+	for id := 1; id < n; id++ {
+		l3Slot[model.ObjectID(id)] = id
+	}
+	l3Grade := func(id model.ObjectID) model.Grade {
+		return 0.5 + model.Grade(l3Slot[id])/model.Grade(8*h*h)
+	}
+
+	grades[r] = [3]model.Grade{0.5, 0.5, 0.5}
+	for i := 1; i <= h-2; i++ {
+		grades[aID(i)] = [3]model.Grade{
+			0.5 + model.Grade(i)/model.Grade(8*h), // L1 top block
+			lowPool(i),                            // below 1/8 in L2
+			l3Grade(aID(i)),
+		}
+		grades[bID(i)] = [3]model.Grade{
+			lowPool(i), // below 1/8 in L1
+			0.5 + model.Grade(i)/model.Grade(8*h),
+			l3Grade(bID(i)),
+		}
+	}
+	for i := 0; i < nFill; i++ {
+		id := fID(i)
+		g1 := lowPool(h - 2 + i + 1)
+		g2 := g1
+		if i == 0 {
+			g1 = 1.0 / 8 // the paper's location-h grade in L1
+		}
+		if i == 1 {
+			g2 = 1.0 / 8 // and in L2
+		}
+		grades[id] = [3]model.Grade{g1, g2, l3Grade(id)}
+	}
+
+	entriesFor := func(list int) []model.Entry {
+		es := make([]model.Entry, 0, n)
+		for id := model.ObjectID(0); id < model.ObjectID(n); id++ {
+			es = append(es, model.Entry{Object: id, Grade: grades[id][list]})
+		}
+		return es
+	}
+	l1, err := model.NewList(entriesFor(0))
+	if err != nil {
+		panic(err)
+	}
+	l2, err := model.NewList(entriesFor(1))
+	if err != nil {
+		panic(err)
+	}
+	l3, err := model.NewList(entriesFor(2))
+	if err != nil {
+		panic(err)
+	}
+	db := mustDB([]*model.List{l1, l2, l3})
+
+	// Opponent: CA's own run is the shortest proof — h rounds of sorted
+	// access to the three lists, then one random access pinning R.
+	steps := make([]core.ScriptStep, 0, 3*h+1)
+	for i := 0; i < h; i++ {
+		steps = append(steps, core.SortedStep(0), core.SortedStep(1), core.SortedStep(2))
+	}
+	steps = append(steps, core.RandomStep(2, r))
+	opp := &core.Scripted{
+		Label:  "ca-proof",
+		Steps:  steps,
+		Answer: []core.Scored{{Object: r, Grade: 1.5, Lower: 1.5, Upper: 1.5}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("figure5(h=%d)", h),
+		DB:       db,
+		Agg:      agg.Sum(3),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{1.5},
+	}
+}

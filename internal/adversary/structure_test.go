@@ -1,0 +1,195 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// These tests pin the structural details of the constructions against the
+// paper's figures — positions, grades and membership — independently of
+// any algorithm behaviour.
+
+func TestFigure1Structure(t *testing.T) {
+	n := 7
+	in := Figure1(n)
+	db := in.DB
+	if db.N() != 2*n+1 || db.M() != 2 {
+		t.Fatalf("shape %dx%d", db.N(), db.M())
+	}
+	l1, l2 := db.List(0), db.List(1)
+	// L1: objects 1..2n+1 in order; top n+1 grade 1.
+	for pos := 0; pos < db.N(); pos++ {
+		wantObj := model.ObjectID(pos + 1)
+		if l1.At(pos).Object != wantObj {
+			t.Fatalf("L1 position %d holds %d, want %d", pos, l1.At(pos).Object, wantObj)
+		}
+		wantGrade := model.Grade(0)
+		if pos < n+1 {
+			wantGrade = 1
+		}
+		if l1.At(pos).Grade != wantGrade {
+			t.Fatalf("L1 position %d grade %v", pos, l1.At(pos).Grade)
+		}
+	}
+	// L2 is the exact reverse order.
+	for pos := 0; pos < db.N(); pos++ {
+		wantObj := model.ObjectID(2*n + 1 - pos)
+		if l2.At(pos).Object != wantObj {
+			t.Fatalf("L2 position %d holds %d, want %d", pos, l2.At(pos).Object, wantObj)
+		}
+	}
+	// The winner sits exactly in the middle of both lists.
+	if r1, _ := l1.RankOf(model.ObjectID(n + 1)); r1 != n {
+		t.Fatalf("winner at L1 rank %d, want %d", r1, n)
+	}
+	if r2, _ := l2.RankOf(model.ObjectID(n + 1)); r2 != n {
+		t.Fatalf("winner at L2 rank %d, want %d", r2, n)
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	n, theta := 6, 2.0
+	in := Figure2(n, theta)
+	db := in.DB
+	l1, l2 := db.List(0), db.List(1)
+	winner := model.ObjectID(n + 1)
+	// Winner's grade is 1/θ in both lists; runner-ups carry 1/(2θ²).
+	if g, _ := l1.GradeOf(winner); g != model.Grade(1/theta) {
+		t.Fatalf("winner L1 grade %v", g)
+	}
+	if g, _ := l2.GradeOf(winner); g != model.Grade(1/theta) {
+		t.Fatalf("winner L2 grade %v", g)
+	}
+	lo := model.Grade(1 / (2 * theta * theta))
+	if g, _ := l1.GradeOf(model.ObjectID(n + 2)); g != lo {
+		t.Fatalf("object n+2 L1 grade %v, want %v", g, lo)
+	}
+	if g, _ := l2.GradeOf(model.ObjectID(n)); g != lo {
+		t.Fatalf("object n L2 grade %v, want %v", g, lo)
+	}
+	// Order: L1 by ascending id, L2 reversed (as in the figure).
+	for pos := 0; pos < db.N(); pos++ {
+		if l1.At(pos).Object != model.ObjectID(pos+1) {
+			t.Fatalf("L1 order broken at %d", pos)
+		}
+		if l2.At(pos).Object != model.ObjectID(db.N()-pos) {
+			t.Fatalf("L2 order broken at %d", pos)
+		}
+	}
+}
+
+func TestFigure5Structure(t *testing.T) {
+	h := 6
+	in := Figure5(h)
+	db := in.DB
+	if db.N() != h*h {
+		t.Fatalf("N = %d, want h² = %d", db.N(), h*h)
+	}
+	l1, l2, l3 := db.List(0), db.List(1), db.List(2)
+	r := model.ObjectID(0)
+	// R at position h−1 of L1 and L2 (0-based h−2) with grade 1/2, and
+	// at the very bottom of L3.
+	if rank, _ := l1.RankOf(r); rank != h-2 {
+		t.Fatalf("R at L1 rank %d, want %d", rank, h-2)
+	}
+	if rank, _ := l2.RankOf(r); rank != h-2 {
+		t.Fatalf("R at L2 rank %d, want %d", rank, h-2)
+	}
+	if rank, _ := l3.RankOf(r); rank != h*h-1 {
+		t.Fatalf("R at L3 rank %d, want bottom %d", rank, h*h-1)
+	}
+	// Position h of L1 and L2 carries grade exactly 1/8.
+	if l1.At(h-1).Grade != 0.125 || l2.At(h-1).Grade != 0.125 {
+		t.Fatalf("position-h grades %v/%v, want 1/8", l1.At(h-1).Grade, l2.At(h-1).Grade)
+	}
+	// Top h−2 of L1 and L2 are disjoint object sets ("none matched").
+	top1 := map[model.ObjectID]bool{}
+	for pos := 0; pos < h-2; pos++ {
+		top1[l1.At(pos).Object] = true
+		if g := l1.At(pos).Grade; g <= 0.5 || g >= 0.625 {
+			t.Fatalf("L1 top grade %v outside (1/2, 5/8)", g)
+		}
+	}
+	for pos := 0; pos < h-2; pos++ {
+		if top1[l2.At(pos).Object] {
+			t.Fatalf("object %d appears in the top of both L1 and L2", l2.At(pos).Object)
+		}
+	}
+	// L3's top is filler objects (large ids), not the L1/L2 top blocks.
+	for pos := 0; pos < h; pos++ {
+		if obj := l3.At(pos).Object; int(obj) <= 2*(h-2) && obj != 0 {
+			t.Fatalf("L3 position %d holds L1/L2 top object %d", pos, obj)
+		}
+	}
+}
+
+func TestTheorem95Structure(t *testing.T) {
+	m, d := 3, 2*3+2
+	in := Theorem95(m, d)
+	db := in.DB
+	tID := model.ObjectID(0)
+	// T at position d (0-based d−1) of list 0; in the 1-region top block
+	// of the other lists.
+	if rank, _ := db.List(0).RankOf(tID); rank != d-1 {
+		t.Fatalf("T at list-0 rank %d, want %d", rank, d-1)
+	}
+	for j := 1; j < m; j++ {
+		rank, _ := db.List(j).RankOf(tID)
+		if rank >= 2*m-2 {
+			t.Fatalf("T at list-%d rank %d, want within the top 2m−2", j, rank)
+		}
+	}
+	// Each list's top 2m−2 excludes exactly its challenge pair.
+	for j := 0; j < m; j++ {
+		excluded := map[model.ObjectID]bool{
+			model.ObjectID(j): true, model.ObjectID(m + j): true,
+		}
+		for pos := 0; pos < 2*m-2; pos++ {
+			obj := db.List(j).At(pos).Object
+			if excluded[obj] {
+				t.Fatalf("list %d top block contains its challenge object %d", j, obj)
+			}
+			if int(obj) >= 2*m {
+				t.Fatalf("list %d top block contains non-special %d", j, obj)
+			}
+		}
+		// 1-region is exactly d entries.
+		if db.List(j).At(d-1).Grade != 1 || db.List(j).At(d).Grade != 0 {
+			t.Fatalf("list %d 1-region does not end at depth %d", j, d)
+		}
+	}
+}
+
+func TestTheorem91Structure(t *testing.T) {
+	m, d := 3, 4
+	in := Theorem91(m, d)
+	db := in.DB
+	tID := model.ObjectID(0)
+	// T at position d of list 0, at the bottom of the 1-region elsewhere.
+	if rank, _ := db.List(0).RankOf(tID); rank != d-1 {
+		t.Fatalf("T at list-0 rank %d, want %d", rank, d-1)
+	}
+	k1, k2 := 2*d, m*2*d+2
+	for j := 1; j < m; j++ {
+		rank, _ := db.List(j).RankOf(tID)
+		if rank != k2-1 {
+			t.Fatalf("T at list-%d rank %d, want k2−1 = %d", j, rank, k2-1)
+		}
+	}
+	// 1-regions have length exactly k2; no object repeats in two top-k1
+	// blocks.
+	seen := map[model.ObjectID]int{}
+	for j := 0; j < m; j++ {
+		if db.List(j).At(k2-1).Grade != 1 || db.List(j).At(k2).Grade != 0 {
+			t.Fatalf("list %d 1-region does not end at k2=%d", j, k2)
+		}
+		for pos := 0; pos < k1; pos++ {
+			obj := db.List(j).At(pos).Object
+			if prev, dup := seen[obj]; dup {
+				t.Fatalf("object %d in top k1 of lists %d and %d", obj, prev, j)
+			}
+			seen[obj] = j
+		}
+	}
+}

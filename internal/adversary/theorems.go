@@ -1,0 +1,451 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Theorem91 builds the lower-bound family of Theorem 9.1 (matching TA's
+// optimality ratio m + m(m−1)·cR/cS for strict aggregation functions and
+// no wild guesses), instantiated with t = min and k = 1:
+//
+//   - every list's top k2 grades are 1, the rest 0;
+//   - no object is in the top k1 of more than one list;
+//   - T (the unique all-1 object) sits at position d of list 0 and at the
+//     bottom of the 1-region (position k2) everywhere else;
+//   - every other top-k1 object has grade 1 in all lists but one.
+//
+// TA must reach depth d in every list (cost dm·cS + dm(m−1)·cR) while the
+// opponent reads list 0 to depth d and probes T's remaining m−1 grades
+// (cost d·cS + (m−1)·cR); the cost ratio approaches m + m(m−1)·cR/cS as d
+// grows. k1 and k2 are chosen internally to satisfy the theorem's
+// constraints.
+func Theorem91(m, d int) *Instance {
+	if m < 2 || d < 1 {
+		panic("adversary: Theorem91 needs m >= 2 and d >= 1")
+	}
+	k1 := 2 * d
+	k2 := m*k1 + 2
+
+	type object struct {
+		id     model.ObjectID
+		grades []model.Grade
+	}
+	var objs []object
+	nextID := model.ObjectID(0)
+	alloc := func(grades []model.Grade) model.ObjectID {
+		id := nextID
+		nextID++
+		objs = append(objs, object{id: id, grades: grades})
+		return id
+	}
+	ones := func() []model.Grade {
+		g := make([]model.Grade, m)
+		for i := range g {
+			g[i] = 1
+		}
+		return g
+	}
+
+	// T: all ones.
+	tID := alloc(ones())
+	// Band objects: k1 per list (T occupies slot d−1 of list 0's band);
+	// band object of list j has grade 0 in list (j+1) mod m.
+	band := make([][]model.ObjectID, m)
+	for j := 0; j < m; j++ {
+		band[j] = make([]model.ObjectID, k1)
+		for i := 0; i < k1; i++ {
+			if j == 0 && i == d-1 {
+				band[j][i] = tID
+				continue
+			}
+			g := ones()
+			g[(j+1)%m] = 0
+			band[j][i] = alloc(g)
+		}
+	}
+	// Ones-fillers: enough per list to pad the 1-region to k2.
+	onesInList := make([]int, m)
+	for _, o := range objs {
+		for j := 0; j < m; j++ {
+			if o.grades[j] == 1 {
+				onesInList[j]++
+			}
+		}
+	}
+	fillers := make([][]model.ObjectID, m)
+	for j := 0; j < m; j++ {
+		need := k2 - onesInList[j]
+		if need < 0 {
+			panic("adversary: Theorem91 sizing error (k2 too small)")
+		}
+		for f := 0; f < need; f++ {
+			g := make([]model.Grade, m)
+			g[j] = 1
+			fillers[j] = append(fillers[j], alloc(g))
+		}
+	}
+
+	// Lay each list out explicitly: its own band in the top k1, then
+	// the remaining 1-graded objects (T last when j ≠ 0), then zeros.
+	lists := make([]*model.List, m)
+	for j := 0; j < m; j++ {
+		inTop := make(map[model.ObjectID]bool, k1)
+		entries := make([]model.Entry, 0, len(objs))
+		for _, id := range band[j] {
+			entries = append(entries, model.Entry{Object: id, Grade: 1})
+			inTop[id] = true
+		}
+		var tail []model.Entry
+		var zeros []model.Entry
+		for _, o := range objs {
+			if inTop[o.id] {
+				continue
+			}
+			switch {
+			case o.id == tID:
+				continue // appended last in the 1-region below
+			case o.grades[j] == 1:
+				tail = append(tail, model.Entry{Object: o.id, Grade: 1})
+			default:
+				zeros = append(zeros, model.Entry{Object: o.id, Grade: 0})
+			}
+		}
+		entries = append(entries, tail...)
+		if j != 0 {
+			entries = append(entries, model.Entry{Object: tID, Grade: 1})
+		}
+		entries = append(entries, zeros...)
+		lists[j] = mustPresorted(entries)
+	}
+	db := mustDB(lists)
+
+	steps := make([]core.ScriptStep, 0, d+m-1)
+	for i := 0; i < d; i++ {
+		steps = append(steps, core.SortedStep(0))
+	}
+	for j := 1; j < m; j++ {
+		steps = append(steps, core.RandomStep(j, tID))
+	}
+	opp := &core.Scripted{
+		Label:  "depth-d-then-probe",
+		Steps:  steps,
+		Answer: []core.Scored{{Object: tID, Grade: 1, Lower: 1, Upper: 1}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("theorem91(m=%d,d=%d)", m, d),
+		DB:       db,
+		Agg:      agg.Min(m),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{1},
+	}
+}
+
+// Theorem92 builds the lower-bound family of Theorem 9.2: t = MinPlus
+// (equation (5)), distinct grades, k = 1, showing no algorithm can have an
+// optimality ratio below (m−2)/2 · cR/cS on distinctness databases for
+// this strictly monotone aggregation:
+//
+//   - lists 1 and 2 hold d "candidates" C_i with grades i/(2d+2) and
+//     (d+1−i)/(2d+2), so x₁+x₂ = 1/2 for every candidate;
+//   - the remaining m−2 lists hold grades i/N;
+//   - the winner T has grades in [1/2, 3/4) in all the other lists; every
+//     other candidate has one "bad" list with a grade below 1/2;
+//   - non-candidates stay below 1/(2d+2) in lists 1 and 2.
+//
+// The opponent reads the top d of lists 1 and 2 and probes T in the m−2
+// remaining lists: cost 2d·cS + (m−2)·cR.
+//
+// tIdx ∈ [1, d] selects which candidate is the winner T. The theorem's
+// adversary reveals candidates' bad grades only as they are probed, always
+// keeping T for last; a static database family realizes the same power by
+// letting the experiment maximize cost over the choice of tIdx.
+func Theorem92(m, d, n, tIdx int) *Instance {
+	if m < 3 || d < 2 {
+		panic("adversary: Theorem92 needs m >= 3 and d >= 2")
+	}
+	if n < 8*d || n%4 != 0 {
+		panic("adversary: Theorem92 needs N a multiple of 4 with N >= 8d")
+	}
+	if tIdx < 1 || tIdx > d {
+		panic("adversary: Theorem92 needs 1 <= tIdx <= d")
+	}
+
+	rows := make([][]model.Grade, n)
+	ids := make([]model.ObjectID, n)
+	for i := range rows {
+		rows[i] = make([]model.Grade, m)
+		ids[i] = model.ObjectID(i)
+	}
+	// Candidates are objects 0..d−1; C_i (1-based i = id+1).
+	for id := 0; id < d; id++ {
+		i := id + 1
+		rows[id][0] = model.Grade(i) / model.Grade(2*d+2)
+		rows[id][1] = model.Grade(d+1-i) / model.Grade(2*d+2)
+	}
+	// Non-candidates: distinct grades below 1/(2d+2) in lists 1 and 2.
+	for id := d; id < n; id++ {
+		frac := model.Grade(n-id) / model.Grade(n+1)
+		rows[id][0] = frac / model.Grade(2*(2*d+2))
+		rows[id][1] = frac / model.Grade(4*(2*d+2))
+	}
+	// Remaining lists: grades are permutations of i/N. High slots are
+	// i ∈ [N/2, 3N/4); low slots are i ∈ (0, N/2).
+	tID := model.ObjectID(tIdx - 1)
+	for j := 2; j < m; j++ {
+		highNext := n/2 + d // distinct high slots per candidate
+		lowNext := n / 4    // distinct low slots for bad lists
+		used := make(map[int]bool, n)
+		assign := func(id int, slot int) {
+			if slot < 1 || slot > n || used[slot] {
+				panic("adversary: Theorem92 slot collision")
+			}
+			used[slot] = true
+			rows[id][j] = model.Grade(slot) / model.Grade(n)
+		}
+		for id := 0; id < d; id++ {
+			bad := 2 + (id % (m - 2)) // bad list of candidate id
+			if model.ObjectID(id) != tID && bad == j {
+				assign(id, lowNext)
+				lowNext--
+				continue
+			}
+			highNext--
+			assign(id, highNext)
+		}
+		// Fill every other object with the remaining slots.
+		slot := n
+		for id := d; id < n; id++ {
+			for used[slot] {
+				slot--
+			}
+			assign(id, slot)
+		}
+	}
+	db, err := model.FromRows(m, ids, rows)
+	if err != nil {
+		panic(err)
+	}
+
+	steps := make([]core.ScriptStep, 0, 2*d+m-2)
+	for i := 0; i < d; i++ {
+		steps = append(steps, core.SortedStep(0), core.SortedStep(1))
+	}
+	for j := 2; j < m; j++ {
+		steps = append(steps, core.RandomStep(j, tID))
+	}
+	opp := &core.Scripted{
+		Label:  "top-d-then-probe",
+		Steps:  steps,
+		Answer: []core.Scored{{Object: tID, Grade: 0.5, Lower: 0.5, Upper: 0.5}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("theorem92(m=%d,d=%d,n=%d,t=%d)", m, d, n, tIdx),
+		DB:       db,
+		Agg:      agg.MinPlus(m),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{0.5},
+	}
+}
+
+// Theorem94 builds the distinctness variant of the Theorem 9.3/9.4 family
+// for t = min: all grades in list j are the distinct values p/(N+1); the
+// winner T sits at position d in list 0 but at position dm in every other
+// list, and the objects ranked above T anywhere are ranked below T in all
+// other lists. Every threshold-style algorithm must descend to depth ≈ dm,
+// while the opponent reads list 0 to depth d and probes T elsewhere. On
+// this family CA's cost is independent of cR/cS while TA's grows linearly
+// in it (the Theorem 8.10 versus Theorem 9.4 regime).
+func Theorem94(m, d, n int) *Instance {
+	if m < 2 || d < 1 {
+		panic("adversary: Theorem94 needs m >= 2 and d >= 1")
+	}
+	// Sizing: the disjoint above-T sets, plus enough plain filler
+	// objects that, in list 0, every object ranked above T elsewhere can
+	// be pushed below position dm (otherwise its overall min could beat
+	// T's).
+	need := 1 + (d - 1) + (m-1)*(d*m-1) + d*(m-1)
+	if n < need {
+		panic(fmt.Sprintf("adversary: Theorem94 needs N >= %d", need))
+	}
+	tID := model.ObjectID(0)
+	// Disjoint sets H_j of objects ranked above T in list j.
+	above := make([][]model.ObjectID, m)
+	aboveAny := make(map[model.ObjectID]bool)
+	next := model.ObjectID(1)
+	for j := 0; j < m; j++ {
+		count := d*m - 1
+		if j == 0 {
+			count = d - 1
+		}
+		for i := 0; i < count; i++ {
+			above[j] = append(above[j], next)
+			aboveAny[next] = true
+			next++
+		}
+	}
+	lists := make([]*model.List, m)
+	for j := 0; j < m; j++ {
+		order := make([]model.ObjectID, 0, n)
+		order = append(order, above[j]...)
+		order = append(order, tID)
+		inAbove := make(map[model.ObjectID]bool, len(above[j]))
+		for _, id := range above[j] {
+			inAbove[id] = true
+		}
+		// Plain fillers first, then other lists' above-T objects, so
+		// the latter sit deep (below position dm) in every list.
+		for id := model.ObjectID(1); int(id) < n; id++ {
+			if !inAbove[id] && !aboveAny[id] {
+				order = append(order, id)
+			}
+		}
+		for id := model.ObjectID(1); int(id) < n; id++ {
+			if !inAbove[id] && aboveAny[id] {
+				order = append(order, id)
+			}
+		}
+		entries := make([]model.Entry, n)
+		for pos, id := range order {
+			entries[pos] = model.Entry{Object: id, Grade: model.Grade(n-pos) / model.Grade(n+1)}
+		}
+		lists[j] = mustPresorted(entries)
+	}
+	db := mustDB(lists)
+	tGrade := model.Grade(n-(d*m-1)) / model.Grade(n+1) // min over T's positions
+
+	steps := make([]core.ScriptStep, 0, d+m-1)
+	for i := 0; i < d; i++ {
+		steps = append(steps, core.SortedStep(0))
+	}
+	for j := 1; j < m; j++ {
+		steps = append(steps, core.RandomStep(j, tID))
+	}
+	opp := &core.Scripted{
+		Label:  "depth-d-then-probe",
+		Steps:  steps,
+		Answer: []core.Scored{{Object: tID, Grade: tGrade, Lower: tGrade, Upper: tGrade}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("theorem94(m=%d,d=%d,n=%d)", m, d, n),
+		DB:       db,
+		Agg:      agg.Min(m),
+		K:        1,
+		Policy:   access.AllowAll,
+		Opponent: opp,
+		Answer:   []model.Grade{tGrade},
+	}
+}
+
+// Theorem95 builds the lower-bound family of Theorem 9.5 (matching NRA's
+// optimality ratio m for strict aggregation functions), with t = min and
+// k = 1. There are 2m special objects; list i's "challenge" pair T_{i+1},
+// T'_{i+1} is missing from its top 2m−2 (which holds all other specials);
+// the top d grades of every list are 1 and the rest 0; the unique all-1
+// object T sits at position d of its challenge list (list 0 here). NRA
+// must descend to depth d in all m lists (dm sorted accesses), while the
+// opponent reads the challenge list to depth d and the others to depth
+// 2m−2.
+func Theorem95(m, d int) *Instance {
+	if m < 2 {
+		panic("adversary: Theorem95 needs m >= 2")
+	}
+	if d < 2*m {
+		panic("adversary: Theorem95 needs d >= 2m")
+	}
+	// Specials: T_i has id i−1, T'_i has id m+i−1 (i = 1..m); the
+	// challenge list of T_i and T'_i is list i−1. T = T_1 (id 0).
+	tID := model.ObjectID(0)
+	challenge := func(id model.ObjectID) int { return int(id) % m }
+
+	type object struct {
+		id     model.ObjectID
+		grades []model.Grade
+	}
+	var objs []object
+	for id := model.ObjectID(0); id < model.ObjectID(2*m); id++ {
+		g := make([]model.Grade, m)
+		for j := 0; j < m; j++ {
+			g[j] = 1
+		}
+		if id != tID {
+			g[challenge(id)] = 0
+		}
+		objs = append(objs, object{id: id, grades: g})
+	}
+	next := model.ObjectID(2 * m)
+	fillers := make([][]model.ObjectID, m)
+	for j := 0; j < m; j++ {
+		count := d - (2*m - 2)
+		if j == 0 {
+			count-- // T occupies position d of list 0
+		}
+		for i := 0; i < count; i++ {
+			g := make([]model.Grade, m)
+			g[j] = 1
+			fillers[j] = append(fillers[j], next)
+			objs = append(objs, object{id: next, grades: g})
+			next++
+		}
+	}
+	n := len(objs)
+	lists := make([]*model.List, m)
+	for j := 0; j < m; j++ {
+		inTop := make(map[model.ObjectID]bool)
+		entries := make([]model.Entry, 0, n)
+		for id := model.ObjectID(0); id < model.ObjectID(2*m); id++ {
+			if challenge(id) == j {
+				continue
+			}
+			entries = append(entries, model.Entry{Object: id, Grade: 1})
+			inTop[id] = true
+		}
+		for _, id := range fillers[j] {
+			entries = append(entries, model.Entry{Object: id, Grade: 1})
+			inTop[id] = true
+		}
+		if j == 0 {
+			entries = append(entries, model.Entry{Object: tID, Grade: 1})
+			inTop[tID] = true
+		}
+		for _, o := range objs {
+			if !inTop[o.id] {
+				entries = append(entries, model.Entry{Object: o.id, Grade: 0})
+			}
+		}
+		lists[j] = mustPresorted(entries)
+	}
+	db := mustDB(lists)
+
+	var steps []core.ScriptStep
+	for i := 0; i < d; i++ {
+		steps = append(steps, core.SortedStep(0))
+	}
+	for j := 1; j < m; j++ {
+		for i := 0; i < 2*m-2; i++ {
+			steps = append(steps, core.SortedStep(j))
+		}
+	}
+	opp := &core.Scripted{
+		Label:  "challenge-scan",
+		Steps:  steps,
+		Answer: []core.Scored{{Object: tID, Grade: 1, Lower: 1, Upper: 1}},
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("theorem95(m=%d,d=%d)", m, d),
+		DB:       db,
+		Agg:      agg.Min(m),
+		K:        1,
+		Policy:   access.Policy{NoRandom: true},
+		Opponent: opp,
+		Answer:   []model.Grade{1},
+	}
+}

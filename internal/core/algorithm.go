@@ -1,0 +1,71 @@
+// Package core implements the aggregation algorithms of Fagin, Lotem and
+// Naor, "Optimal Aggregation Algorithms for Middleware" (PODS 2001):
+//
+//   - TA, the threshold algorithm (Section 4), with its approximation
+//     variant TAθ (Section 6.2), restricted-sorted-access variant TAz
+//     (Section 7), early stopping, and pluggable sorted-access schedulers.
+//   - NRA, the no-random-access algorithm (Section 8.1), with two
+//     bookkeeping engines (cf. Remark 8.7).
+//   - CA, the combined algorithm (Section 8.2), with the footnote-15
+//     escape clause.
+//   - Baselines: Naive, FA (Fagin's algorithm, Section 3), MaxTopK (the
+//     mk-sorted-access algorithm for t = max), and the Intermittent
+//     algorithm (Section 8.4's straw-man).
+//   - Scripted oracle opponents used by the instance-optimality
+//     experiments (wild guesses and shortest proofs).
+//
+// All algorithms observe data exclusively through access.Source, so the
+// recorded sorted/random access counts are exactly the paper's middleware
+// cost components.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+)
+
+// MaxLists is the largest supported number of lists; field sets are kept as
+// 64-bit masks. The paper treats m as a small constant (the aggregation
+// function's arity), so this is not a practical restriction.
+const MaxLists = 64
+
+// Algorithm is a top-k aggregation algorithm in the paper's model.
+type Algorithm interface {
+	// Name identifies the algorithm, e.g. "TA" or "NRA".
+	Name() string
+	// Run finds the top k objects of src under t. Implementations must
+	// access data only through src, so src.Stats() reflects the run's
+	// true middleware cost.
+	Run(src *access.Source, t agg.Func, k int) (*Result, error)
+}
+
+// ErrBadQuery wraps all query validation failures.
+var ErrBadQuery = errors.New("core: invalid query")
+
+// validate performs the shared query checks. The paper assumes throughout
+// that the database has at least k objects; we enforce it.
+func validate(src *access.Source, t agg.Func, k int) error {
+	if src == nil {
+		return fmt.Errorf("%w: nil source", ErrBadQuery)
+	}
+	if t == nil {
+		return fmt.Errorf("%w: nil aggregation function", ErrBadQuery)
+	}
+	if t.Arity() != src.M() {
+		return fmt.Errorf("%w: aggregation %s has arity %d but database has %d lists",
+			ErrBadQuery, t.Name(), t.Arity(), src.M())
+	}
+	if src.M() > MaxLists {
+		return fmt.Errorf("%w: %d lists exceeds the supported maximum of %d", ErrBadQuery, src.M(), MaxLists)
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: k must be at least 1, got %d", ErrBadQuery, k)
+	}
+	if k > src.N() {
+		return fmt.Errorf("%w: k=%d exceeds database size N=%d", ErrBadQuery, k, src.N())
+	}
+	return nil
+}

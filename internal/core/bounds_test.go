@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+// tableFor builds a table over a small fixed database for direct
+// manipulation in tests.
+func tableFor(t *testing.T, k int, lazy bool) (*table, *access.Source) {
+	t.Helper()
+	db := buildDB(t, 2, map[model.ObjectID][]model.Grade{
+		1: {0.9, 0.2},
+		2: {0.8, 0.9},
+		3: {0.5, 0.8},
+		4: {0.3, 0.4},
+		5: {0.1, 0.6},
+	})
+	src := access.New(db, access.Policy{NoRandom: true})
+	return newTable(src, agg.Avg(2), k, lazy), src
+}
+
+func TestTableLearnIsIdempotent(t *testing.T) {
+	tb, _ := tableFor(t, 1, true)
+	tb.depth = 1
+	p1 := tb.learn(1, 0, 0.9)
+	w1, b1 := p1.w, p1.b
+	p2 := tb.learn(1, 0, 0.9) // same field again
+	if p1 != p2 || p2.w != w1 || p2.b != b1 || p2.nKnown != 1 {
+		t.Fatalf("relearning a known field changed state: %+v", p2)
+	}
+}
+
+func TestTableWIncreasesBDecreases(t *testing.T) {
+	tb, _ := tableFor(t, 1, true)
+	tb.depth = 1
+	p := tb.learn(2, 0, 0.8)
+	tb.bottoms[0] = 0.8
+	w0 := p.w
+	tb.refreshB(p)
+	b0 := p.b
+	// Deepen: bottoms drop, then the object's second field arrives.
+	tb.depth = 2
+	tb.bottoms[0] = 0.5
+	tb.bottoms[1] = 0.9
+	tb.refreshB(p)
+	if p.b > b0 {
+		t.Fatalf("B rose from %v to %v after bottoms fell", b0, p.b)
+	}
+	tb.learn(2, 1, 0.9)
+	if p.w < w0 {
+		t.Fatalf("W fell from %v to %v after learning a field", w0, p.w)
+	}
+	if p.nKnown != 2 || math.Abs(float64(p.w-p.b)) > 1e-12 {
+		t.Fatalf("fully known object must have W=B, got W=%v B=%v", p.w, p.b)
+	}
+}
+
+func TestTablePromotionAndDisplacement(t *testing.T) {
+	tb, _ := tableFor(t, 1, true)
+	tb.depth = 1
+	tb.observeSorted(0, model.Entry{Object: 1, Grade: 0.9}) // W=0.45 → T_1
+	if !tb.parts[1].inTopK {
+		t.Fatal("first object not promoted")
+	}
+	tb.observeSorted(1, model.Entry{Object: 2, Grade: 0.9})
+	// W(2)=0.45 ties W(1); B(2) = (bottom0 + 0.9)/2 = 0.9; B(1) =
+	// (0.9+0.9)/2 = 0.9 — full tie, id order keeps object 1.
+	if !tb.parts[1].inTopK || tb.parts[2].inTopK {
+		t.Fatal("tie displaced the incumbent")
+	}
+	if tb.parts[2].heapIdx < 0 {
+		t.Fatal("loser not tracked as a candidate")
+	}
+	// Object 2 completes: W = 0.85 > 0.45 displaces object 1.
+	tb.depth = 2
+	tb.observeSorted(0, model.Entry{Object: 2, Grade: 0.8})
+	if !tb.parts[2].inTopK || tb.parts[1].inTopK {
+		t.Fatal("higher-W object failed to displace")
+	}
+	if tb.parts[1].heapIdx < 0 {
+		t.Fatal("displaced object must re-enter the candidate heap")
+	}
+}
+
+func TestDrainTopRetiresNonViable(t *testing.T) {
+	tb, src := tableFor(t, 1, true)
+	// Feed the full database.
+	for d := 0; d < 5; d++ {
+		tb.depth++
+		for i := 0; i < 2; i++ {
+			if e, ok := src.SortedNext(i); ok {
+				tb.observeSorted(i, e)
+			}
+		}
+	}
+	mk := tb.mk()
+	if got := tb.drainTop(mk); got != nil {
+		t.Fatalf("fully-scanned database still has viable candidate %d", got.obj)
+	}
+	// Everything outside T_1 must be retired now.
+	retired := 0
+	for _, p := range tb.parts {
+		if !p.inTopK && p.retired {
+			retired++
+		}
+	}
+	if retired != 4 {
+		t.Fatalf("retired %d of 4 outsiders", retired)
+	}
+}
+
+func TestMkNonDecreasing(t *testing.T) {
+	tb, src := tableFor(t, 2, true)
+	prev := math.Inf(-1)
+	for d := 0; d < 5; d++ {
+		tb.depth++
+		for i := 0; i < 2; i++ {
+			if e, ok := src.SortedNext(i); ok {
+				tb.observeSorted(i, e)
+			}
+		}
+		if len(tb.topk) == tb.k {
+			mk := float64(tb.mk())
+			if mk < prev-1e-12 {
+				t.Fatalf("M_k fell from %v to %v at depth %d", prev, mk, tb.depth)
+			}
+			prev = mk
+		}
+	}
+}
+
+func TestThresholdMatchesUnseenBound(t *testing.T) {
+	tb, src := tableFor(t, 1, true)
+	tb.depth = 1
+	e0, _ := src.SortedNext(0)
+	tb.observeSorted(0, e0)
+	e1, _ := src.SortedNext(1)
+	tb.observeSorted(1, e1)
+	want := agg.Avg(2).Apply([]model.Grade{e0.Grade, e1.Grade})
+	if got := tb.threshold(); got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+}
+
+func TestResultFromTableOrdersBestFirst(t *testing.T) {
+	tb, src := tableFor(t, 3, true)
+	for d := 0; d < 5; d++ {
+		tb.depth++
+		for i := 0; i < 2; i++ {
+			if e, ok := src.SortedNext(i); ok {
+				tb.observeSorted(i, e)
+			}
+		}
+	}
+	res := tb.result(tb.depth)
+	if len(res.Items) != 3 {
+		t.Fatalf("%d items", len(res.Items))
+	}
+	for i := 1; i < len(res.Items); i++ {
+		if res.Items[i].Grade > res.Items[i-1].Grade {
+			t.Fatalf("items out of order: %v", res.Items)
+		}
+	}
+	if !res.GradesExact {
+		t.Fatal("full scan should pin every grade")
+	}
+	// Grades: avg of each object's pair — top three are 2 (0.85), 3
+	// (0.65), 1 (0.55).
+	wantObjs := []model.ObjectID{2, 3, 1}
+	for i, w := range wantObjs {
+		if res.Items[i].Object != w {
+			t.Fatalf("rank %d is %d, want %d", i+1, res.Items[i].Object, w)
+		}
+	}
+}

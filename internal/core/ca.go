@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+)
+
+// CA is the combined algorithm (Section 8.2): NRA's sorted-access loop and
+// bound bookkeeping, plus one random-access phase every h = ⌊cR/cS⌋ depths.
+// Each phase picks the seen, viable object with missing fields whose B
+// value is largest and resolves all of its missing fields by random access;
+// if no such object exists the phase is skipped (footnote 15's escape
+// clause, which keeps CA free of wild guesses). CA is instance optimal
+// with optimality ratio independent of cR/cS when t is strictly monotone
+// in each argument and grades are distinct (Theorem 8.9), and for min
+// (Theorem 8.10).
+type CA struct {
+	// Costs supplies cS and cR; h is derived as ⌊cR/cS⌋ (≥ 1). The
+	// paper assumes cR ≥ cS in this setting.
+	Costs access.CostModel
+	// H, when positive, overrides the derived phase period (used by
+	// experiments that sweep h directly).
+	H int
+}
+
+// Name implements Algorithm.
+func (a *CA) Name() string { return "CA" }
+
+// phasePeriod returns the active h.
+func (a *CA) phasePeriod() int {
+	if a.H > 0 {
+		return a.H
+	}
+	c := a.Costs
+	if c.CS == 0 && c.CR == 0 {
+		c = access.UnitCosts
+	}
+	return c.H()
+}
+
+// Run implements Algorithm.
+func (a *CA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
+	if err := validate(src, t, k); err != nil {
+		return nil, err
+	}
+	m := src.M()
+	for i := 0; i < m; i++ {
+		if !src.CanSorted(i) {
+			return nil, fmt.Errorf("%w: CA needs sorted access to every list", ErrBadQuery)
+		}
+	}
+	if m > 1 && !src.CanRandom(0) {
+		return nil, fmt.Errorf("%w: CA needs random access; use NRA when random access is impossible", ErrBadQuery)
+	}
+	h := a.phasePeriod()
+	tb := newTable(src, t, k, true)
+	for {
+		tb.depth++
+		progress := false
+		for i := 0; i < m; i++ {
+			e, ok := src.SortedNext(i)
+			if !ok {
+				continue
+			}
+			progress = true
+			tb.observeSorted(i, e)
+		}
+		src.ReportBuffer(len(tb.parts))
+		if tb.depth%h == 0 {
+			a.randomPhase(src, tb)
+		}
+		if tb.halted() {
+			return tb.result(tb.depth), nil
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: CA exhausted all lists without satisfying the stopping rule")
+		}
+	}
+}
+
+// randomPhase performs one Step-2 phase: resolve all missing fields of the
+// viable seen object with the largest B, or do nothing if none exists.
+func (a *CA) randomPhase(src *access.Source, tb *table) {
+	target := tb.pickPhaseTarget()
+	if target == nil {
+		return // escape clause: no viable object with missing fields
+	}
+	obj := target.obj
+	for j := 0; j < tb.m; j++ {
+		if target.known&(uint64(1)<<uint(j)) != 0 {
+			continue
+		}
+		g, ok := src.Random(j, obj)
+		if !ok {
+			continue
+		}
+		tb.learn(obj, j, g)
+	}
+}
+
+// pickPhaseTarget returns the seen, viable object with missing fields whose
+// fresh B is largest, considering both T_k members and outside candidates.
+func (tb *table) pickPhaseTarget() *partial {
+	mk := tb.mk()
+	var best *partial
+	for _, p := range tb.topk {
+		if p.nKnown == tb.m {
+			continue
+		}
+		tb.refreshB(p)
+		// A T_k member is worth resolving while its value is not yet
+		// pinned; when B has collapsed onto W (= M_k for the k-th)
+		// nothing can change, matching the paper's viability cut.
+		if p.b <= mk && p.b == p.w {
+			continue
+		}
+		if best == nil || p.b > best.b {
+			best = p
+		}
+	}
+	if c := tb.drainTop(mk); c != nil {
+		if c.nKnown < tb.m && (best == nil || c.b > best.b) {
+			best = c
+		}
+	}
+	return best
+}

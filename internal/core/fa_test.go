@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestFAAccessPatternObliviousToAggregation verifies the Section 3
+// observation that FA's access pattern — and therefore its middleware
+// cost — is exactly the same no matter what the aggregation function is
+// (it depends only on the database and k). This is the root of FA's
+// non-optimality for functions like max or constants.
+func TestFAAccessPatternObliviousToAggregation(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 500, M: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *access.Trace
+	for _, tf := range []agg.Func{agg.Min(3), agg.Max(3), agg.Avg(3), agg.Constant(3, 0.5)} {
+		src := access.New(db, access.AllowAll)
+		trace := src.StartTrace()
+		if _, err := (FA{}).Run(src, tf, 5); err != nil {
+			t.Fatalf("%s: %v", tf.Name(), err)
+		}
+		if ref == nil {
+			ref = trace
+			continue
+		}
+		if len(trace.Entries) != len(ref.Entries) {
+			t.Fatalf("%s: %d accesses, reference %d", tf.Name(), len(trace.Entries), len(ref.Entries))
+		}
+		// Sorted prefixes must be identical; random-access phase order
+		// may differ (map iteration) but the multiset must match.
+		randomRef := map[string]int{}
+		randomGot := map[string]int{}
+		for i := range ref.Entries {
+			if ref.Entries[i].Sorted {
+				if trace.Entries[i] != ref.Entries[i] {
+					t.Fatalf("%s: sorted access %d differs: %v vs %v",
+						tf.Name(), i, trace.Entries[i], ref.Entries[i])
+				}
+			} else {
+				randomRef[ref.Entries[i].String()]++
+				randomGot[trace.Entries[i].String()]++
+			}
+		}
+		for k, v := range randomRef {
+			if randomGot[k] != v {
+				t.Fatalf("%s: random access multiset differs at %q", tf.Name(), k)
+			}
+		}
+	}
+}
+
+// TestFAStopsAtKMatches pins phase 1's stopping rule on a constructed
+// database where the match depth is known.
+func TestFAStopsAtKMatches(t *testing.T) {
+	// Objects 1 and 2 top both lists, so 2 matches occur at depth 2;
+	// everything else trails far behind.
+	db := buildDB(t, 2, map[model.ObjectID][]model.Grade{
+		1: {0.9, 0.95},
+		2: {0.8, 0.9},
+		3: {0.7, 0.1},
+		4: {0.6, 0.2},
+		5: {0.1, 0.3},
+	})
+	src := access.New(db, access.AllowAll)
+	res, err := (FA{}).Run(src, agg.Min(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("FA ran %d rounds, want 2 (both matches at depth 2)", res.Rounds)
+	}
+	if res.Items[0].Object != 1 || res.Items[1].Object != 2 {
+		// min(1) = 0.9 beats min(2) = 0.8.
+		t.Errorf("answer %v", res.Items)
+	}
+}
+
+// TestFAHandlesFullScan covers the exhaustion path: with k close to N and
+// scattered matches, FA may need the entire lists.
+func TestFAHandlesFullScan(t *testing.T) {
+	db, err := workload.AntiCorrelated(workload.Spec{N: 40, M: 2, Seed: 62}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (FA{}).Run(access.New(db, access.AllowAll), agg.Avg(2), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 40 {
+		t.Fatalf("got %d items", len(res.Items))
+	}
+	want := groundTruth(db, agg.Avg(2), 40)
+	if !gradeMultisetsEqual(res.GradeMultiset(), want) {
+		t.Fatal("full-scan FA answer wrong")
+	}
+}
+
+// TestTAEqualsNaiveQuick is the randomized equivalence property: on
+// arbitrary small databases (including heavy ties), TA's grade multiset
+// equals the ground truth for a random monotone aggregation drawn from the
+// catalog.
+func TestTAEqualsNaiveQuick(t *testing.T) {
+	type params struct {
+		Seed   int64
+		M, K   uint8
+		Levels uint8
+		Agg    uint8
+	}
+	prop := func(p params) bool {
+		m := int(p.M)%4 + 1
+		k := int(p.K)%8 + 1
+		levels := int(p.Levels)%6 + 1
+		db, err := workload.Plateau(workload.Spec{N: 40, M: m, Seed: p.Seed}, levels)
+		if err != nil {
+			return false
+		}
+		catalog := []agg.Func{agg.Min(m), agg.Max(m), agg.Sum(m), agg.Avg(m), agg.Product(m), agg.Median(m)}
+		tf := catalog[int(p.Agg)%len(catalog)]
+		res, err := (&TA{}).Run(access.New(db, access.AllowAll), tf, k)
+		if err != nil {
+			return false
+		}
+		return gradeMultisetsEqual(res.GradeMultiset(), groundTruth(db, tf, k))
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 150,
+		Rand:     rand.New(rand.NewSource(63)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCAEqualsNaiveQuick is the same property for CA across random phase
+// periods.
+func TestCAEqualsNaiveQuick(t *testing.T) {
+	type params struct {
+		Seed int64
+		M, K uint8
+		H    uint8
+	}
+	prop := func(p params) bool {
+		m := int(p.M)%3 + 1
+		k := int(p.K)%5 + 1
+		h := int(p.H)%9 + 1
+		db, err := workload.IndependentUniform(workload.Spec{N: 50, M: m, Seed: p.Seed})
+		if err != nil {
+			return false
+		}
+		tf := agg.Avg(m)
+		res, err := (&CA{H: h}).Run(access.New(db, access.AllowAll), tf, k)
+		if err != nil {
+			return false
+		}
+		want := groundTruth(db, tf, k)
+		kth := want[len(want)-1]
+		for _, it := range res.Items {
+			if float64(tf.Apply(db.Grades(it.Object))) < float64(kth)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 120,
+		Rand:     rand.New(rand.NewSource(64)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

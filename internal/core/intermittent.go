@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+// Intermittent is the straw-man algorithm of Section 8.4: it performs the
+// same random accesses as TA, in the same time order, but delays them so
+// that a batch runs every h = ⌊cR/cS⌋ depths. Unlike CA it does not choose
+// *which* object to resolve by its B value — it resolves every object in
+// encounter order — and the paper shows (Figure 5) that this costs it an
+// optimality ratio that grows with h. It shares NRA's bound bookkeeping
+// and stopping rule, and checks the stopping rule after each resolved
+// object so a batch stops as soon as the answer is known.
+type Intermittent struct {
+	// Costs supplies cS and cR; h is derived as ⌊cR/cS⌋ (≥ 1).
+	Costs access.CostModel
+	// H, when positive, overrides the derived batch period.
+	H int
+}
+
+// Name implements Algorithm.
+func (a *Intermittent) Name() string { return "Intermittent" }
+
+func (a *Intermittent) period() int {
+	if a.H > 0 {
+		return a.H
+	}
+	c := a.Costs
+	if c.CS == 0 && c.CR == 0 {
+		c = access.UnitCosts
+	}
+	return c.H()
+}
+
+// Run implements Algorithm.
+func (a *Intermittent) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
+	if err := validate(src, t, k); err != nil {
+		return nil, err
+	}
+	m := src.M()
+	for i := 0; i < m; i++ {
+		if !src.CanSorted(i) {
+			return nil, fmt.Errorf("%w: Intermittent needs sorted access to every list", ErrBadQuery)
+		}
+	}
+	if m > 1 && !src.CanRandom(0) {
+		return nil, fmt.Errorf("%w: Intermittent needs random access", ErrBadQuery)
+	}
+	h := a.period()
+	tb := newTable(src, t, k, true)
+	var queue []model.ObjectID // encounters in TA time order
+	for {
+		tb.depth++
+		progress := false
+		for i := 0; i < m; i++ {
+			e, ok := src.SortedNext(i)
+			if !ok {
+				continue
+			}
+			progress = true
+			tb.observeSorted(i, e)
+			queue = append(queue, e.Object)
+		}
+		src.ReportBuffer(len(tb.parts))
+		if tb.depth%h == 0 {
+			halt, err := a.drainQueue(src, tb, &queue)
+			if err != nil {
+				return nil, err
+			}
+			if halt {
+				return tb.result(tb.depth), nil
+			}
+		}
+		if tb.halted() {
+			return tb.result(tb.depth), nil
+		}
+		if !progress {
+			return nil, fmt.Errorf("core: Intermittent exhausted all lists without satisfying the stopping rule")
+		}
+	}
+}
+
+// drainQueue performs the delayed TA random accesses in encounter order,
+// checking the stopping rule after each resolved object.
+func (a *Intermittent) drainQueue(src *access.Source, tb *table, queue *[]model.ObjectID) (bool, error) {
+	q := *queue
+	for len(q) > 0 {
+		obj := q[0]
+		q = q[1:]
+		p := tb.parts[obj]
+		if p == nil {
+			return false, fmt.Errorf("core: queued object %d has no bookkeeping entry", obj)
+		}
+		if p.nKnown < tb.m {
+			for j := 0; j < tb.m; j++ {
+				if p.known&(uint64(1)<<uint(j)) != 0 {
+					continue
+				}
+				g, ok := src.Random(j, obj)
+				if !ok {
+					continue
+				}
+				tb.learn(obj, j, g)
+			}
+			if tb.halted() {
+				*queue = q
+				return true, nil
+			}
+		}
+	}
+	*queue = q[:0]
+	return false, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/model"
+)
+
+// Scored is one object in a top-k answer. For algorithms that determine
+// exact overall grades (TA, FA, Naive, MaxTopK) Grade is the overall grade
+// and Lower = Upper = Grade. For NRA (and CA runs that halt with partial
+// information) Grade is the proven lower bound W and [Lower, Upper] is the
+// final [W, B] interval containing the true grade (Propositions 8.1/8.2).
+type Scored struct {
+	Object model.ObjectID
+	Grade  model.Grade
+	Lower  model.Grade
+	Upper  model.Grade
+}
+
+// Result is a completed top-k run.
+type Result struct {
+	// Items holds the k answers, best first.
+	Items []Scored
+	// GradesExact reports whether Items[i].Grade is the true overall
+	// grade for every item. NRA guarantees only the top-k *objects*
+	// (Section 8.1 weakens the output requirement); TA/FA also return
+	// the grades.
+	GradesExact bool
+	// Theta is the approximation guarantee: the output is a
+	// θ-approximation of the true top k (Section 6.2). Theta = 1 means
+	// the output is exact.
+	Theta float64
+	// Rounds is the number of parallel sorted-access rounds performed
+	// (the paper's depth d), when the algorithm is round-structured.
+	Rounds int
+	// Stats is the access accounting for the run.
+	Stats access.Stats
+}
+
+// Objects returns the answer objects, best first.
+func (r *Result) Objects() []model.ObjectID {
+	ids := make([]model.ObjectID, len(r.Items))
+	for i, it := range r.Items {
+		ids[i] = it.Object
+	}
+	return ids
+}
+
+// Cost returns the run's middleware cost under cm.
+func (r *Result) Cost(cm access.CostModel) float64 { return cm.Cost(r.Stats) }
+
+// GradeMultiset returns the sorted (descending) overall grades of the
+// answer. Because the paper breaks ties arbitrarily, two correct algorithms
+// may return different object sets but must return the same grade multiset;
+// tests compare results through this.
+func (r *Result) GradeMultiset() []model.Grade {
+	gs := make([]model.Grade, len(r.Items))
+	for i, it := range r.Items {
+		gs[i] = it.Grade
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] > gs[j] })
+	return gs
+}
+
+// String renders a compact human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	for i, it := range r.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if r.GradesExact {
+			fmt.Fprintf(&b, "%d:%.4g", it.Object, it.Grade)
+		} else {
+			fmt.Fprintf(&b, "%d:[%.4g,%.4g]", it.Object, it.Lower, it.Upper)
+		}
+	}
+	return fmt.Sprintf("top%d{%s} s=%d r=%d", len(r.Items), b.String(), r.Stats.Sorted, r.Stats.Random)
+}
+
+// sortScoredDesc orders items by grade descending, breaking ties by
+// ascending object id for determinism.
+func sortScoredDesc(items []Scored) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Grade != items[j].Grade {
+			return items[i].Grade > items[j].Grade
+		}
+		return items[i].Object < items[j].Object
+	})
+}
+
+// topKHeap is a fixed-capacity collection of the k best (grade, object)
+// pairs seen so far; ties are broken toward smaller object ids (arbitrary
+// per the paper, deterministic for tests). It is TA's entire object buffer:
+// Theorem 4.2's bounded-buffer property is visible in that nothing else
+// about previously seen objects is retained.
+type topKHeap struct {
+	k     int
+	items []Scored // kept sorted descending; k is small (constant)
+}
+
+func newTopKHeap(k int) *topKHeap {
+	return &topKHeap{k: k, items: make([]Scored, 0, k)}
+}
+
+// offer inserts the candidate if it belongs in the top k. An object already
+// present is updated rather than duplicated (TA can see the same object in
+// several lists).
+func (h *topKHeap) offer(s Scored) {
+	for i := range h.items {
+		if h.items[i].Object == s.Object {
+			// Same object re-encountered: grade is identical by
+			// construction; nothing to do.
+			return
+		}
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, s)
+		sortScoredDesc(h.items)
+		return
+	}
+	last := len(h.items) - 1
+	worst := h.items[last]
+	if s.Grade > worst.Grade || (s.Grade == worst.Grade && s.Object < worst.Object) {
+		h.items[last] = s
+		sortScoredDesc(h.items)
+	}
+}
+
+// full reports whether k items are held.
+func (h *topKHeap) full() bool { return len(h.items) == h.k }
+
+// kth returns the grade of the worst retained item; call only when full.
+func (h *topKHeap) kth() model.Grade { return h.items[len(h.items)-1].Grade }
+
+// snapshot returns a copy of the current items, best first.
+func (h *topKHeap) snapshot() []Scored {
+	out := make([]Scored, len(h.items))
+	copy(out, h.items)
+	return out
+}

@@ -1,0 +1,116 @@
+package core
+
+import "repro/internal/model"
+
+// SchedView is the per-list state visible to a sorted-access scheduler.
+// All slices have length m and are refreshed before every scheduling
+// decision.
+type SchedView struct {
+	// Allowed[i] reports whether the policy permits sorted access on i.
+	Allowed []bool
+	// Exhausted[i] reports whether list i has been read to the bottom.
+	Exhausted []bool
+	// Depth[i] is the number of sorted accesses done on list i.
+	Depth []int
+	// Bottom[i] is the last grade seen under sorted access on list i
+	// (1 before the first access, per the Section 7 convention).
+	Bottom []model.Grade
+	// PrevBottom[i] is the grade seen one access earlier (1 initially).
+	PrevBottom []model.Grade
+	// SinceAccess[i] counts scheduling steps since list i was accessed.
+	SinceAccess []int
+}
+
+// eligible reports whether list i can be accessed now.
+func (v *SchedView) eligible(i int) bool { return v.Allowed[i] && !v.Exhausted[i] }
+
+// Scheduler chooses which sorted list TA accesses next. The paper's
+// algorithms do "sorted access in parallel"; footnote 6 notes correctness
+// and instance optimality survive any schedule whose per-list rates stay
+// within constant multiples of each other. Lockstep realizes exact
+// parallelism; Delta is the Quick-Combine-style heuristic from Section 10
+// with the fairness bound that restores instance optimality.
+type Scheduler interface {
+	// Name identifies the schedule.
+	Name() string
+	// Next returns the list to access, or -1 when no eligible list
+	// remains.
+	Next(v *SchedView) int
+}
+
+// Lockstep accesses eligible lists round-robin (the list with the smallest
+// depth, lowest index first), which is the paper's "in parallel" access.
+type Lockstep struct{}
+
+// Name implements Scheduler.
+func (Lockstep) Name() string { return "lockstep" }
+
+// Next implements Scheduler.
+func (Lockstep) Next(v *SchedView) int {
+	best := -1
+	for i := range v.Depth {
+		if !v.eligible(i) {
+			continue
+		}
+		if best == -1 || v.Depth[i] < v.Depth[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Delta is a Quick-Combine-style heuristic schedule (Güntzer, Balke,
+// Kiessling, discussed in the paper's Section 10): it prefers the list whose
+// grades are currently falling fastest, which drives the threshold down
+// sooner on skewed data. Unmodified, the heuristic loses instance
+// optimality (the paper gives a family of counterexamples); the Fairness
+// bound implements the paper's fix — "each list is accessed under sorted
+// access at least every u steps, for some constant u" — which restores it.
+type Delta struct {
+	// Fairness is the paper's u: no eligible list goes more than u
+	// scheduling steps without being accessed. Zero means u = 2m.
+	Fairness int
+}
+
+// Name implements Scheduler.
+func (d Delta) Name() string { return "delta" }
+
+// Next implements Scheduler.
+func (d Delta) Next(v *SchedView) int {
+	u := d.Fairness
+	if u <= 0 {
+		u = 2 * len(v.Depth)
+	}
+	// Fairness first: any starved list must be served.
+	starved := -1
+	for i := range v.Depth {
+		if v.eligible(i) && v.SinceAccess[i] >= u {
+			if starved == -1 || v.SinceAccess[i] > v.SinceAccess[starved] {
+				starved = i
+			}
+		}
+	}
+	if starved != -1 {
+		return starved
+	}
+	// Otherwise pick the steepest recent grade drop; break ties toward
+	// the shallowest list so untouched lists get sampled early.
+	best := -1
+	var bestDrop model.Grade = -1
+	for i := range v.Depth {
+		if !v.eligible(i) {
+			continue
+		}
+		drop := v.PrevBottom[i] - v.Bottom[i]
+		if v.Depth[i] == 0 {
+			// Unread list: maximal optimism so every list is
+			// touched before the heuristic takes over.
+			drop = 2
+		}
+		if best == -1 || drop > bestDrop || (drop == bestDrop && v.Depth[i] < v.Depth[best]) {
+			best = i
+			bestDrop = drop
+		}
+	}
+	return best
+}

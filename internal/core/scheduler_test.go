@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func newView(m int) *SchedView {
+	v := &SchedView{
+		Allowed:     make([]bool, m),
+		Exhausted:   make([]bool, m),
+		Depth:       make([]int, m),
+		Bottom:      make([]model.Grade, m),
+		PrevBottom:  make([]model.Grade, m),
+		SinceAccess: make([]int, m),
+	}
+	for i := range v.Allowed {
+		v.Allowed[i] = true
+		v.Bottom[i] = 1
+		v.PrevBottom[i] = 1
+	}
+	return v
+}
+
+func TestLockstepRoundRobin(t *testing.T) {
+	v := newView(3)
+	s := Lockstep{}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for step, exp := range want {
+		got := s.Next(v)
+		if got != exp {
+			t.Fatalf("step %d: got list %d, want %d", step, got, exp)
+		}
+		v.Depth[got]++
+	}
+}
+
+func TestLockstepSkipsDisallowedAndExhausted(t *testing.T) {
+	v := newView(3)
+	v.Allowed[0] = false
+	v.Exhausted[2] = true
+	s := Lockstep{}
+	for i := 0; i < 4; i++ {
+		if got := s.Next(v); got != 1 {
+			t.Fatalf("got list %d, want 1", got)
+		}
+		v.Depth[1]++
+	}
+	v.Exhausted[1] = true
+	if got := s.Next(v); got != -1 {
+		t.Fatalf("all eligible exhausted: got %d, want -1", got)
+	}
+}
+
+func TestDeltaPrefersSteepestDrop(t *testing.T) {
+	v := newView(2)
+	// Both lists touched once; list 1's grades are falling faster.
+	v.Depth = []int{1, 1}
+	v.PrevBottom = []model.Grade{1, 1}
+	v.Bottom = []model.Grade{0.95, 0.5}
+	s := Delta{Fairness: 100}
+	if got := s.Next(v); got != 1 {
+		t.Fatalf("got list %d, want the steeper list 1", got)
+	}
+}
+
+func TestDeltaTouchesUnreadListsFirst(t *testing.T) {
+	v := newView(3)
+	v.Depth = []int{5, 0, 5}
+	v.PrevBottom = []model.Grade{0.9, 1, 0.9}
+	v.Bottom = []model.Grade{0.1, 1, 0.8}
+	if got := (Delta{Fairness: 100}).Next(v); got != 1 {
+		t.Fatalf("got list %d, want the unread list 1", got)
+	}
+}
+
+func TestDeltaFairnessOverridesHeuristic(t *testing.T) {
+	v := newView(2)
+	v.Depth = []int{3, 3}
+	v.PrevBottom = []model.Grade{1, 0.9}
+	v.Bottom = []model.Grade{0.2, 0.89} // list 0 is steeper
+	v.SinceAccess = []int{0, 7}
+	s := Delta{Fairness: 5}
+	if got := s.Next(v); got != 1 {
+		t.Fatalf("starved list not served: got %d, want 1", got)
+	}
+}
+
+func TestDeltaDefaultFairness(t *testing.T) {
+	v := newView(2)
+	v.SinceAccess = []int{0, 2*2 + 1} // beyond the default u = 2m
+	if got := (Delta{}).Next(v); got != 1 {
+		t.Fatalf("default fairness not applied: got %d", got)
+	}
+	if (Delta{}).Name() != "delta" || (Lockstep{}).Name() != "lockstep" {
+		t.Fatal("scheduler names changed")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+// Progress is the early-stopping view handed to TA's Progress callback
+// after every sorted access (Section 6.2's interactive process). TopK is
+// the current top-k list, Threshold the current τ, and Guarantee the
+// current θ = τ/β certifying the view as a θ-approximation (math.Inf(1)
+// until k objects with positive grades are held; 1 when the view is already
+// provably exact).
+type Progress struct {
+	TopK      []Scored
+	Threshold model.Grade
+	Guarantee float64
+	Depth     int
+	Sorted    int64
+	Random    int64
+}
+
+// TA is the threshold algorithm (Section 4), including its TAθ
+// approximation variant (Section 6.2; set Theta > 1) and, when run against
+// a Source whose policy restricts sorted access to a subset Z, the TAz
+// variant of Section 7 (lists outside Z contribute x̄ᵢ = 1 to the
+// threshold).
+//
+// By default TA is faithful to the paper: it keeps only the current top-k
+// list and the per-list cursor positions (Theorem 4.2's bounded buffer),
+// and therefore re-does random accesses when an object is encountered under
+// sorted access a second time (footnote 7). Set Memoize to trade the
+// bounded buffer for fewer random accesses (the ablation measured in the
+// experiments).
+type TA struct {
+	// Theta is the approximation parameter θ ≥ 1. Zero means 1 (exact).
+	Theta float64
+	// Memoize remembers every object's computed overall grade, skipping
+	// repeat random accesses at the price of an unbounded buffer.
+	Memoize bool
+	// Sched selects the sorted-access order; nil means Lockstep.
+	Sched Scheduler
+	// OnProgress, when non-nil, is invoked after every sorted access
+	// with the current view; returning false stops the run early with
+	// the current view and its guarantee (Section 6.2's early
+	// stopping).
+	OnProgress func(Progress) bool
+}
+
+// Name implements Algorithm.
+func (a *TA) Name() string {
+	if a.Theta > 1 {
+		return fmt.Sprintf("TA(θ=%g)", a.Theta)
+	}
+	return "TA"
+}
+
+// Run implements Algorithm.
+func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
+	if err := validate(src, t, k); err != nil {
+		return nil, err
+	}
+	theta := a.Theta
+	if theta == 0 {
+		theta = 1
+	}
+	if theta < 1 {
+		return nil, fmt.Errorf("%w: θ must be at least 1, got %g", ErrBadQuery, theta)
+	}
+	m := src.M()
+	anySorted := false
+	for i := 0; i < m; i++ {
+		if src.CanSorted(i) {
+			anySorted = true
+		} else if !src.CanRandom(i) {
+			return nil, fmt.Errorf("%w: list %d allows neither sorted nor random access", ErrBadQuery, i)
+		}
+	}
+	if !anySorted {
+		return nil, fmt.Errorf("%w: TA needs sorted access to at least one list (Z nonempty)", ErrBadQuery)
+	}
+	if m > 1 && !src.CanRandom(0) {
+		return nil, fmt.Errorf("%w: TA needs random access; use NRA when random access is impossible", ErrBadQuery)
+	}
+	sched := a.Sched
+	if sched == nil {
+		sched = Lockstep{}
+	}
+
+	view := &SchedView{
+		Allowed:     make([]bool, m),
+		Exhausted:   make([]bool, m),
+		Depth:       make([]int, m),
+		Bottom:      make([]model.Grade, m),
+		PrevBottom:  make([]model.Grade, m),
+		SinceAccess: make([]int, m),
+	}
+	for i := 0; i < m; i++ {
+		view.Allowed[i] = src.CanSorted(i)
+		view.Bottom[i] = 1 // x̄ᵢ = 1 before any sorted access (Section 7)
+		view.PrevBottom[i] = 1
+	}
+
+	heap := newTopKHeap(k)
+	var memo map[model.ObjectID]model.Grade
+	if a.Memoize {
+		memo = make(map[model.ObjectID]model.Grade)
+	}
+	grades := make([]model.Grade, m)
+	threshold := func() model.Grade { return t.Apply(view.Bottom) }
+
+	finish := func(exact bool, tau model.Grade) *Result {
+		items := heap.snapshot()
+		for i := range items {
+			items[i].Lower = items[i].Grade
+			items[i].Upper = items[i].Grade
+		}
+		guarantee := 1.0
+		if !exact {
+			if len(items) == k && items[k-1].Grade > 0 {
+				guarantee = math.Max(1, float64(tau)/float64(items[k-1].Grade))
+			} else if len(items) < k || items[k-1].Grade <= 0 {
+				guarantee = math.Inf(1)
+			}
+		}
+		maxDepth := 0
+		for _, d := range view.Depth {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		return &Result{
+			Items:       items,
+			GradesExact: true,
+			Theta:       guarantee,
+			Rounds:      maxDepth,
+			Stats:       src.Stats(),
+		}
+	}
+
+	for {
+		i := sched.Next(view)
+		if i == -1 {
+			// Every list in Z is exhausted: the grade of every
+			// object is known, so the current top-k is exact
+			// (footnote 14's TAz halting case).
+			return finish(true, threshold()), nil
+		}
+		e, ok := src.SortedNext(i)
+		if !ok {
+			view.Exhausted[i] = true
+			continue
+		}
+		view.PrevBottom[i] = view.Bottom[i]
+		view.Bottom[i] = e.Grade
+		view.Depth[i]++
+		view.Exhausted[i] = src.Exhausted(i)
+		for j := 0; j < m; j++ {
+			view.SinceAccess[j]++
+		}
+		view.SinceAccess[i] = 0
+
+		var overall model.Grade
+		if g, hit := lookupMemo(memo, e.Object); hit {
+			overall = g
+		} else {
+			grades[i] = e.Grade
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				g, ok := src.Random(j, e.Object)
+				if !ok {
+					return nil, fmt.Errorf("core: object %d missing from list %d", e.Object, j)
+				}
+				grades[j] = g
+			}
+			overall = t.Apply(grades)
+			if memo != nil {
+				memo[e.Object] = overall
+			}
+		}
+		heap.offer(Scored{Object: e.Object, Grade: overall})
+		src.ReportBuffer(k + len(memo))
+
+		tau := threshold()
+		if a.OnProgress != nil {
+			p := Progress{
+				TopK:      heap.snapshot(),
+				Threshold: tau,
+				Guarantee: math.Inf(1),
+				Depth:     maxInt(view.Depth),
+			}
+			st := src.Stats()
+			p.Sorted, p.Random = st.Sorted, st.Random
+			if heap.full() && heap.kth() > 0 {
+				p.Guarantee = math.Max(1, float64(tau)/float64(heap.kth()))
+			}
+			if !a.OnProgress(p) {
+				return finish(false, tau), nil
+			}
+		}
+		// Stopping rule: at least k objects seen with grade ≥ τ/θ.
+		if heap.full() && float64(heap.kth())*theta >= float64(tau) {
+			res := finish(true, tau)
+			if theta > 1 {
+				res.Theta = theta
+			}
+			return res, nil
+		}
+	}
+}
+
+func lookupMemo(memo map[model.ObjectID]model.Grade, obj model.ObjectID) (model.Grade, bool) {
+	if memo == nil {
+		return 0, false
+	}
+	g, ok := memo[obj]
+	return g, ok
+}
+
+func maxInt(xs []int) int {
+	v := 0
+	for _, x := range xs {
+		if x > v {
+			v = x
+		}
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+// Package experiments is the reproduction harness: one registered
+// experiment per table, figure, or quantitative claim in the paper's
+// evaluation (see DESIGN.md's per-experiment index E01–E17). Each
+// experiment runs the relevant algorithms on the relevant database family
+// and emits a printable table of paper-expected versus measured values;
+// cmd/experiments renders them, and EXPERIMENTS.md records the output.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/adversary"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Table is one experiment's rendered result.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // the paper's claim, quoted or paraphrased
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		case model.Grade:
+			row[i] = fmt.Sprintf("%.4g", float64(x))
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note records a commentary line (e.g. the paper-vs-measured verdict).
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table in a fixed-width layout.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+var registry []*Experiment
+
+func register(id, title string, run func() (*Table, error)) {
+	registry = append(registry, &Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment and renders it to w, stopping on the
+// first failure.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		tab, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- shared helpers ---
+
+// run executes al on a fresh source over the instance and returns the
+// result.
+func run(in *adversary.Instance, al core.Algorithm) (*core.Result, error) {
+	return al.Run(in.Source(), in.Agg, in.K)
+}
+
+// runDB executes al on a fresh source over a database with a policy.
+func runDB(db *model.Database, pol access.Policy, al core.Algorithm, t agg.Func, k int) (*core.Result, error) {
+	return al.Run(access.New(db, pol), t, k)
+}
+
+// costOf is shorthand for the middleware cost of a result.
+func costOf(res *core.Result, cm access.CostModel) float64 { return cm.Cost(res.Stats) }
+
+// modelDatabase keeps generator closure tables readable.
+type modelDatabase = model.Database
+
+// newBuilderHelper re-exports the model builder for experiment-local
+// database assembly.
+func newBuilderHelper(m int) *model.Builder { return model.NewBuilder(m) }
+
+// topKOracle returns the exact top-k overall grades, descending.
+func topKOracle(db *model.Database, tf agg.Func, k int) []model.Grade {
+	top := model.TopKByGrade(db, k, tf.Apply)
+	out := make([]model.Grade, len(top))
+	for i, e := range top {
+		out[i] = e.Grade
+	}
+	return out
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.3g", v) }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete verifies every experiment from DESIGN.md's index is
+// registered exactly once.
+func TestRegistryComplete(t *testing.T) {
+	want := map[string]bool{}
+	for i := 1; i <= 19; i++ {
+		want["E"+pad2(i)] = false
+	}
+	for _, e := range All() {
+		if _, ok := want[e.ID]; !ok {
+			t.Errorf("unexpected experiment %s", e.ID)
+			continue
+		}
+		if want[e.ID] {
+			t.Errorf("experiment %s registered twice", e.ID)
+		}
+		want[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func pad2(i int) string {
+	s := strconv.Itoa(i)
+	if len(s) == 1 {
+		s = "0" + s
+	}
+	return s
+}
+
+// TestByID covers lookup semantics.
+func TestByID(t *testing.T) {
+	if ByID("E01") == nil || ByID("e01") == nil {
+		t.Error("ByID should be case-insensitive")
+	}
+	if ByID("E99") != nil {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+// TestEveryExperimentRuns executes each experiment and sanity-checks its
+// table: non-empty rows, consistent column counts, no violation notes.
+// This is the integration test tying algorithms, adversaries, workloads
+// and the harness together; heavier experiments are exercised with the
+// same code paths the benchmarks use.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavyweight; skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("%s row %d: %d cells for %d columns", e.ID, i, len(row), len(tab.Columns))
+				}
+			}
+			for _, n := range tab.Notes {
+				if strings.Contains(n, "VIOLATION") {
+					t.Errorf("%s: %s", e.ID, n)
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("%s: render: %v", e.ID, err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Errorf("%s: rendering lacks the experiment id", e.ID)
+			}
+		})
+	}
+}
+
+// TestTableRender covers the formatting edge cases directly.
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "EXX",
+		Title:   "render test",
+		Paper:   "claim",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide-cell-value", "x")
+	tab.Note("note %d", 42)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXX", "render test", "claim", "wide-cell-value", "note 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

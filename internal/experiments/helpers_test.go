@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogSlope(t *testing.T) {
+	// y = 3·x^0.75 exactly.
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.75)
+	}
+	if got := logSlope(xs, ys); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("slope = %v, want 0.75", got)
+	}
+	// Constant data: slope 0.
+	if got := logSlope([]float64{1, 10, 100}, []float64{5, 5, 5}); math.Abs(got) > 1e-9 {
+		t.Fatalf("constant slope = %v", got)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if itoa(42) != "42" {
+		t.Fatal("itoa")
+	}
+	if ftoa(1234.5) == "" {
+		t.Fatal("ftoa")
+	}
+}

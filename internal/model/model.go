@@ -1,0 +1,201 @@
+// Package model defines the middleware data model from Fagin, Lotem and
+// Naor, "Optimal Aggregation Algorithms for Middleware" (PODS 2001): a
+// database is a set of N objects, each with m grades in [0,1], exposed as m
+// lists sorted descending by grade. Lists support positional (sorted) access
+// and keyed (random) access; cost accounting lives in package access.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ObjectID identifies an object in a database. IDs are small non-negative
+// integers; human-readable names, when present, live in a Catalog.
+type ObjectID int
+
+// Grade is an attribute grade. The paper restricts grades to [0,1]; builders
+// validate that range unless explicitly told not to.
+type Grade float64
+
+// Entry is one row of a sorted list: an object and its grade in that list.
+type Entry struct {
+	Object ObjectID
+	Grade  Grade
+}
+
+// List is a single attribute list sorted descending by grade, with a
+// rank index supporting O(1) random access by object.
+type List struct {
+	entries []Entry
+	rank    map[ObjectID]int // object -> position in entries
+}
+
+// NewList builds a List from entries, sorting them descending by grade.
+// Ties are ordered by ascending ObjectID so list layout is deterministic.
+// It returns an error if an object appears twice.
+func NewList(entries []Entry) (*List, error) {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Grade != es[j].Grade {
+			return es[i].Grade > es[j].Grade
+		}
+		return es[i].Object < es[j].Object
+	})
+	rank := make(map[ObjectID]int, len(es))
+	for i, e := range es {
+		if _, dup := rank[e.Object]; dup {
+			return nil, fmt.Errorf("model: object %d appears twice in list", e.Object)
+		}
+		rank[e.Object] = i
+	}
+	return &List{entries: es, rank: rank}, nil
+}
+
+// NewListPresorted builds a List from entries that the caller asserts are
+// already sorted descending by grade; the order is preserved exactly. This
+// is needed for the paper's adversarial constructions, which place specific
+// objects below all others of equal grade. It returns an error if a grade
+// inversion or duplicate object is found.
+func NewListPresorted(entries []Entry) (*List, error) {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	rank := make(map[ObjectID]int, len(es))
+	for i, e := range es {
+		if i > 0 && es[i-1].Grade < e.Grade {
+			return nil, fmt.Errorf("model: presorted list has inversion at position %d (%v < %v)", i, es[i-1].Grade, e.Grade)
+		}
+		if _, dup := rank[e.Object]; dup {
+			return nil, fmt.Errorf("model: object %d appears twice in list", e.Object)
+		}
+		rank[e.Object] = i
+	}
+	return &List{entries: es, rank: rank}, nil
+}
+
+// Len returns the number of entries in the list.
+func (l *List) Len() int { return len(l.entries) }
+
+// At returns the entry at sorted position pos (0 = highest grade).
+func (l *List) At(pos int) Entry { return l.entries[pos] }
+
+// GradeOf returns the grade of obj in this list, and whether it is present.
+func (l *List) GradeOf(obj ObjectID) (Grade, bool) {
+	i, ok := l.rank[obj]
+	if !ok {
+		return 0, false
+	}
+	return l.entries[i].Grade, true
+}
+
+// RankOf returns the 0-based sorted position of obj, and whether present.
+func (l *List) RankOf(obj ObjectID) (int, bool) {
+	i, ok := l.rank[obj]
+	return i, ok
+}
+
+// Entries returns a copy of the list's entries in sorted order.
+func (l *List) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Distinct reports whether all grades in the list are pairwise distinct
+// (the per-list half of the paper's distinctness property).
+func (l *List) Distinct() bool {
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].Grade == l.entries[i-1].Grade {
+			return false
+		}
+	}
+	return true
+}
+
+// Database is m sorted lists over a common set of N objects. Every object
+// appears in every list (the paper's model: each list has length N).
+type Database struct {
+	lists   []*List
+	objects []ObjectID // all object ids, ascending
+	names   map[ObjectID]string
+}
+
+// NewDatabase assembles a database from lists, verifying that every list
+// contains exactly the same object set and is non-empty.
+func NewDatabase(lists []*List) (*Database, error) {
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("model: database needs at least one list")
+	}
+	n := lists[0].Len()
+	for i, l := range lists {
+		if l.Len() != n {
+			return nil, fmt.Errorf("model: list %d has %d entries, want %d", i, l.Len(), n)
+		}
+	}
+	objs := make([]ObjectID, 0, n)
+	for obj := range lists[0].rank {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for i := 1; i < len(lists); i++ {
+		for _, obj := range objs {
+			if _, ok := lists[i].rank[obj]; !ok {
+				return nil, fmt.Errorf("model: object %d missing from list %d", obj, i)
+			}
+		}
+	}
+	return &Database{lists: lists, objects: objs}, nil
+}
+
+// M returns the number of lists (attributes).
+func (d *Database) M() int { return len(d.lists) }
+
+// N returns the number of objects.
+func (d *Database) N() int { return len(d.objects) }
+
+// List returns list i (0-based).
+func (d *Database) List(i int) *List { return d.lists[i] }
+
+// Objects returns all object ids in ascending order (shared slice; do not
+// modify).
+func (d *Database) Objects() []ObjectID { return d.objects }
+
+// Grades returns obj's grade vector across all lists. It panics if obj is
+// not in the database, which cannot happen for ids from Objects.
+func (d *Database) Grades(obj ObjectID) []Grade {
+	gs := make([]Grade, len(d.lists))
+	for i, l := range d.lists {
+		g, ok := l.GradeOf(obj)
+		if !ok {
+			panic(fmt.Sprintf("model: object %d missing from list %d", obj, i))
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+// Distinct reports whether the database satisfies the paper's distinctness
+// property: within each list, no two objects share a grade.
+func (d *Database) Distinct() bool {
+	for _, l := range d.lists {
+		if !l.Distinct() {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateGrades returns an error if any grade lies outside [0,1] or is NaN.
+func (d *Database) ValidateGrades() error {
+	for i, l := range d.lists {
+		for _, e := range l.entries {
+			g := float64(e.Grade)
+			if math.IsNaN(g) || g < 0 || g > 1 {
+				return fmt.Errorf("model: list %d object %d has grade %v outside [0,1]", i, e.Object, e.Grade)
+			}
+		}
+	}
+	return nil
+}

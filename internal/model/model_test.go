@@ -1,0 +1,301 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustList(t *testing.T, entries []Entry) *List {
+	t.Helper()
+	l, err := NewList(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewListSortsDescending(t *testing.T) {
+	l := mustList(t, []Entry{
+		{Object: 1, Grade: 0.2},
+		{Object: 2, Grade: 0.9},
+		{Object: 3, Grade: 0.5},
+	})
+	want := []ObjectID{2, 3, 1}
+	for i, obj := range want {
+		if l.At(i).Object != obj {
+			t.Errorf("position %d: got object %d, want %d", i, l.At(i).Object, obj)
+		}
+	}
+}
+
+func TestNewListTieBreaksById(t *testing.T) {
+	l := mustList(t, []Entry{
+		{Object: 9, Grade: 0.5},
+		{Object: 2, Grade: 0.5},
+		{Object: 5, Grade: 0.5},
+	})
+	want := []ObjectID{2, 5, 9}
+	for i, obj := range want {
+		if l.At(i).Object != obj {
+			t.Errorf("position %d: got object %d, want %d", i, l.At(i).Object, obj)
+		}
+	}
+}
+
+func TestNewListRejectsDuplicates(t *testing.T) {
+	if _, err := NewList([]Entry{{Object: 1, Grade: 0.1}, {Object: 1, Grade: 0.2}}); err == nil {
+		t.Fatal("expected duplicate-object error")
+	}
+}
+
+func TestNewListPresortedPreservesOrder(t *testing.T) {
+	entries := []Entry{
+		{Object: 7, Grade: 1},
+		{Object: 3, Grade: 1},
+		{Object: 1, Grade: 0.5},
+		{Object: 9, Grade: 0},
+	}
+	l, err := NewListPresorted(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if l.At(i) != e {
+			t.Errorf("position %d: got %+v, want %+v", i, l.At(i), e)
+		}
+	}
+}
+
+func TestNewListPresortedRejectsInversion(t *testing.T) {
+	_, err := NewListPresorted([]Entry{
+		{Object: 1, Grade: 0.5},
+		{Object: 2, Grade: 0.9},
+	})
+	if err == nil {
+		t.Fatal("expected inversion error")
+	}
+}
+
+func TestRandomAccessMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{Object: ObjectID(i), Grade: Grade(rng.Float64())}
+	}
+	l := mustList(t, entries)
+	for pos := 0; pos < l.Len(); pos++ {
+		e := l.At(pos)
+		g, ok := l.GradeOf(e.Object)
+		if !ok || g != e.Grade {
+			t.Fatalf("GradeOf(%d) = %v,%v; want %v,true", e.Object, g, ok, e.Grade)
+		}
+		r, ok := l.RankOf(e.Object)
+		if !ok || r != pos {
+			t.Fatalf("RankOf(%d) = %d,%v; want %d,true", e.Object, r, ok, pos)
+		}
+	}
+	if _, ok := l.GradeOf(ObjectID(10_000)); ok {
+		t.Fatal("GradeOf reported a grade for an absent object")
+	}
+}
+
+func TestDatabaseValidation(t *testing.T) {
+	l1 := mustList(t, []Entry{{Object: 1, Grade: 0.5}, {Object: 2, Grade: 0.4}})
+	l2 := mustList(t, []Entry{{Object: 1, Grade: 0.3}, {Object: 3, Grade: 0.2}})
+	if _, err := NewDatabase([]*List{l1, l2}); err == nil {
+		t.Fatal("expected object-set mismatch error")
+	}
+	short := mustList(t, []Entry{{Object: 1, Grade: 0.3}})
+	if _, err := NewDatabase([]*List{l1, short}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewDatabase(nil); err == nil {
+		t.Fatal("expected empty database error")
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAdd(10, 0.1, 0.2, 0.3)
+	b.MustAdd(20, 0.9, 0.8, 0.7)
+	b.MustAdd(30, 0.5, 0.5, 0.5)
+	db := b.MustBuild()
+	if db.M() != 3 || db.N() != 3 {
+		t.Fatalf("got %dx%d database, want 3x3", db.M(), db.N())
+	}
+	if got := db.Grades(20); !reflect.DeepEqual(got, []Grade{0.9, 0.8, 0.7}) {
+		t.Fatalf("Grades(20) = %v", got)
+	}
+	if db.List(0).At(0).Object != 20 {
+		t.Fatalf("list 0 top is %d, want 20", db.List(0).At(0).Object)
+	}
+	if err := db.ValidateGrades(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.Add(1, 0.5); err == nil {
+		t.Error("expected arity error")
+	}
+	if err := b.Add(1, 0.5, 1.5); err == nil {
+		t.Error("expected range error")
+	}
+	if err := b.Add(1, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 0.1, 0.1); err == nil {
+		t.Error("expected duplicate error")
+	}
+	if _, err := NewBuilder(2).Build(); err == nil {
+		t.Error("expected empty-builder error")
+	}
+	wide := NewBuilder(1).AllowWideGrades()
+	if err := wide.Add(1, 3.5); err != nil {
+		t.Errorf("AllowWideGrades rejected 3.5: %v", err)
+	}
+}
+
+func TestBuilderNames(t *testing.T) {
+	b := NewBuilder(2)
+	id, err := b.AddNamed("rosa", 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := b.AddNamed("blau", 0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == id2 {
+		t.Fatal("AddNamed reused an id")
+	}
+	db := b.MustBuild()
+	if db.Name(id) != "rosa" || db.Name(id2) != "blau" {
+		t.Errorf("names not preserved: %q %q", db.Name(id), db.Name(id2))
+	}
+	if db.Name(ObjectID(999)) != "obj999" {
+		t.Errorf("fallback name = %q", db.Name(ObjectID(999)))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAdd(1, 0.1, 0.2)
+	b.MustAdd(2, 0.3, 0.2)
+	db := b.MustBuild()
+	if db.List(0).Distinct() != true {
+		t.Error("list 0 should be distinct")
+	}
+	if db.List(1).Distinct() != false {
+		t.Error("list 1 should not be distinct")
+	}
+	if db.Distinct() {
+		t.Error("database should not satisfy distinctness")
+	}
+}
+
+func TestTopKByGrade(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAdd(1, 0.9, 0.1)
+	b.MustAdd(2, 0.5, 0.5)
+	b.MustAdd(3, 0.2, 0.9)
+	db := b.MustBuild()
+	minAgg := func(gs []Grade) Grade {
+		if gs[0] < gs[1] {
+			return gs[0]
+		}
+		return gs[1]
+	}
+	top := TopKByGrade(db, 2, minAgg)
+	if len(top) != 2 || top[0].Object != 2 || top[0].Grade != 0.5 {
+		t.Fatalf("top-2 = %+v", top)
+	}
+	if got := TopKByGrade(db, 10, minAgg); len(got) != 3 {
+		t.Fatalf("k>N should clamp, got %d items", len(got))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAdd(0, 0.25, 0.5, 0.75)
+	b.MustAdd(1, 1, 0, 0.125)
+	b.MustAdd(7, 0.3333333333333333, 0.1, 0.9)
+	db := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != db.M() || back.N() != db.N() {
+		t.Fatalf("round trip changed shape: %dx%d", back.M(), back.N())
+	}
+	for _, obj := range db.Objects() {
+		if !reflect.DeepEqual(db.Grades(obj), back.Grades(obj)) {
+			t.Errorf("object %d: %v != %v", obj, db.Grades(obj), back.Grades(obj))
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no header
+		"object\n1\n",               // no attribute columns
+		"object,a\nx,0.5\n",         // bad id
+		"object,a\n1,zebra\n",       // bad grade
+		"object,a,b\n1,0.5\n",       // short row
+		"object,a\n1,0.5\n1,0.25\n", // duplicate object
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+// TestListSortedInvariantQuick property-checks that NewList always yields a
+// descending list containing exactly the input multiset.
+func TestListSortedInvariantQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		entries := make([]Entry, len(raw))
+		for i, g := range raw {
+			// Map arbitrary floats into [0,1] deterministically.
+			if g < 0 {
+				g = -g
+			}
+			g -= float64(int(g))
+			entries[i] = Entry{Object: ObjectID(i), Grade: Grade(g)}
+		}
+		l, err := NewList(entries)
+		if err != nil {
+			return false
+		}
+		var got []float64
+		for i := 0; i < l.Len(); i++ {
+			if i > 0 && l.At(i-1).Grade < l.At(i).Grade {
+				return false
+			}
+			got = append(got, float64(l.At(i).Grade))
+		}
+		want := make([]float64, 0, len(entries))
+		for _, e := range entries {
+			want = append(want, float64(e.Grade))
+		}
+		sort.Float64s(want)
+		sort.Float64s(got)
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package workload generates the synthetic databases used by the tests,
+// examples and reproduction experiments: independent uniform grades (the
+// probabilistic model behind FA's guarantee), Zipf-skewed grades
+// (Quick-Combine's motivating case), correlated and anti-correlated grades
+// (top-k literature staples), plateau databases with massive grade ties,
+// and distinct-grade permutation databases satisfying the paper's
+// distinctness property. All generators are deterministic in their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Spec configures a generated database.
+type Spec struct {
+	N    int   // number of objects
+	M    int   // number of lists
+	Seed int64 // RNG seed; same seed, same database
+}
+
+func (s Spec) validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("workload: N must be positive, got %d", s.N)
+	}
+	if s.M < 1 {
+		return fmt.Errorf("workload: M must be positive, got %d", s.M)
+	}
+	return nil
+}
+
+func (s Spec) build(gen func(rng *rand.Rand, obj int) []model.Grade) (*model.Database, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	ids := make([]model.ObjectID, s.N)
+	rows := make([][]model.Grade, s.N)
+	for i := 0; i < s.N; i++ {
+		ids[i] = model.ObjectID(i)
+		rows[i] = gen(rng, i)
+	}
+	return model.FromRows(s.M, ids, rows)
+}
+
+// IndependentUniform draws every grade independently and uniformly from
+// [0,1): the probabilistic model under which FA's O(N^((m−1)/m)·k^(1/m))
+// guarantee holds. Grades are almost surely distinct, so these databases
+// satisfy the distinctness property (tests assert it).
+func IndependentUniform(spec Spec) (*model.Database, error) {
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		gs := make([]model.Grade, spec.M)
+		for j := range gs {
+			gs[j] = model.Grade(rng.Float64())
+		}
+		return gs
+	})
+}
+
+// Zipf draws grades with a Zipf-skewed distribution: a few objects have
+// grades near 1 in a list and the long tail sits near 0. skew ≥ 1 controls
+// the skew (larger = steeper); the skewed lists model the graded sets
+// Quick-Combine's heuristic targets.
+func Zipf(spec Spec, skew float64) (*model.Database, error) {
+	if skew < 1.001 {
+		skew = 1.001
+	}
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		gs := make([]model.Grade, spec.M)
+		for j := range gs {
+			// Inverse-CDF style skew: u^skew pushes mass toward 0.
+			u := rng.Float64()
+			gs[j] = model.Grade(math.Pow(u, skew))
+		}
+		return gs
+	})
+}
+
+// Correlated draws, per object, a base quality q uniform in [0,1] and sets
+// each grade to q perturbed by ±noise (clamped to [0,1]). With small noise
+// the lists agree on the best objects, so threshold algorithms halt early.
+func Correlated(spec Spec, noise float64) (*model.Database, error) {
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		q := rng.Float64()
+		gs := make([]model.Grade, spec.M)
+		for j := range gs {
+			gs[j] = model.Grade(clamp01(q + (rng.Float64()*2-1)*noise))
+		}
+		return gs
+	})
+}
+
+// AntiCorrelated makes grades trade off against each other: each object is
+// good in some lists exactly to the extent it is bad in others (its grades
+// sum to about M/2). Anti-correlation is the hard case for threshold
+// algorithms — no object dominates, so thresholds fall slowly.
+func AntiCorrelated(spec Spec, noise float64) (*model.Database, error) {
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		gs := make([]model.Grade, spec.M)
+		budget := float64(spec.M) / 2
+		// Split the budget randomly across lists, then clamp.
+		weights := make([]float64, spec.M)
+		var sum float64
+		for j := range weights {
+			weights[j] = rng.Float64()
+			sum += weights[j]
+		}
+		for j := range gs {
+			share := budget * weights[j] / sum
+			gs[j] = model.Grade(clamp01(share + (rng.Float64()*2-1)*noise))
+		}
+		return gs
+	})
+}
+
+// Plateau builds databases dominated by grade ties: each list has the given
+// number of distinct grade levels, so many objects share each grade. Tie
+// handling (the delicate part of Example 6.3 and of NRA's tie-breaking) is
+// exercised heavily on these.
+func Plateau(spec Spec, levels int) (*model.Database, error) {
+	if levels < 1 {
+		levels = 1
+	}
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		gs := make([]model.Grade, spec.M)
+		for j := range gs {
+			gs[j] = model.Grade(float64(rng.Intn(levels)) / float64(levels))
+		}
+		return gs
+	})
+}
+
+// DistinctUniform builds databases satisfying the distinctness property
+// exactly: each list is an independent random permutation of the N distinct
+// grades (i+1)/(N+1), i = 0..N−1. These are the legal inputs of Theorems
+// 6.5, 8.9 and 8.10.
+func DistinctUniform(spec Spec) (*model.Database, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	rows := make([][]model.Grade, spec.N)
+	ids := make([]model.ObjectID, spec.N)
+	for i := range rows {
+		rows[i] = make([]model.Grade, spec.M)
+		ids[i] = model.ObjectID(i)
+	}
+	for j := 0; j < spec.M; j++ {
+		perm := rng.Perm(spec.N)
+		for i, p := range perm {
+			rows[i][j] = model.Grade(float64(p+1) / float64(spec.N+1))
+		}
+	}
+	return model.FromRows(spec.M, ids, rows)
+}
+
+// Mixture draws each object from one of the component generators' grade
+// models, modelling heterogeneous repositories behind one middleware.
+// fractions must sum to about 1 and have one entry per component:
+// 0 = uniform, 1 = correlated(0.05), 2 = zipf-ish skew.
+func Mixture(spec Spec, fractions []float64) (*model.Database, error) {
+	if len(fractions) != 3 {
+		return nil, fmt.Errorf("workload: Mixture needs 3 fractions, got %d", len(fractions))
+	}
+	return spec.build(func(rng *rand.Rand, _ int) []model.Grade {
+		u := rng.Float64()
+		gs := make([]model.Grade, spec.M)
+		switch {
+		case u < fractions[0]:
+			for j := range gs {
+				gs[j] = model.Grade(rng.Float64())
+			}
+		case u < fractions[0]+fractions[1]:
+			q := rng.Float64()
+			for j := range gs {
+				gs[j] = model.Grade(clamp01(q + (rng.Float64()*2-1)*0.05))
+			}
+		default:
+			for j := range gs {
+				gs[j] = model.Grade(math.Pow(rng.Float64(), 3))
+			}
+		}
+		return gs
+	})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+)
+
+// QuerySpec is one query in a batch.
+type QuerySpec struct {
+	// Agg and K define the query.
+	Agg AggFunc
+	K   int
+	// Opts configures the algorithm, policy and cost model.
+	Opts Options
+}
+
+// QueryOutcome pairs a batch query with its result or error.
+type QueryOutcome struct {
+	Spec   QuerySpec
+	Result *Result
+	Err    error
+}
+
+// ParallelQueries runs many independent queries over the same database
+// concurrently — the middleware serving several users at once. Each query
+// gets its own access cursors and accounting, so results and costs are
+// identical to running the queries sequentially; workers bounds the
+// concurrency (0 means one worker per query).
+func ParallelQueries(db *Database, specs []QuerySpec, workers int) []QueryOutcome {
+	out := make([]QueryOutcome, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	if workers <= 0 || workers > len(specs) {
+		workers = len(specs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				spec := specs[i]
+				res, err := Query(db, spec.Agg, spec.K, spec.Opts)
+				if err != nil {
+					err = fmt.Errorf("repro: query %d: %w", i, err)
+				}
+				out[i] = QueryOutcome{Spec: spec, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestParallelQueriesMatchSequential(t *testing.T) {
+	db := sampleDB(t)
+	specs := []repro.QuerySpec{
+		{Agg: repro.Min(3), K: 1},
+		{Agg: repro.Avg(3), K: 2},
+		{Agg: repro.Sum(3), K: 3, Opts: repro.Options{NoRandomAccess: true}},
+		{Agg: repro.Max(3), K: 1, Opts: repro.Options{Algorithm: repro.AlgoMaxTopK}},
+		{Agg: repro.Avg(3), K: 2, Opts: repro.Options{Algorithm: repro.AlgoCA, Costs: repro.CostModel{CS: 1, CR: 4}}},
+		{Agg: repro.Min(3), K: 5, Opts: repro.Options{Algorithm: repro.AlgoFA}},
+	}
+	for _, workers := range []int{0, 1, 3} {
+		outcomes := repro.ParallelQueries(db, specs, workers)
+		if len(outcomes) != len(specs) {
+			t.Fatalf("workers=%d: got %d outcomes", workers, len(outcomes))
+		}
+		for i, oc := range outcomes {
+			if oc.Err != nil {
+				t.Fatalf("workers=%d query %d: %v", workers, i, oc.Err)
+			}
+			seq, err := repro.Query(db, specs[i].Agg, specs[i].K, specs[i].Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := oc.Result.GradeMultiset(), seq.GradeMultiset(); len(got) != len(want) {
+				t.Fatalf("workers=%d query %d: %v vs %v", workers, i, got, want)
+			} else {
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("workers=%d query %d grade %d: %v vs %v", workers, i, j, got[j], want[j])
+					}
+				}
+			}
+			if oc.Result.Stats.Sorted != seq.Stats.Sorted || oc.Result.Stats.Random != seq.Stats.Random {
+				t.Fatalf("workers=%d query %d: accounting diverged", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelQueriesPropagatesErrors(t *testing.T) {
+	db := sampleDB(t)
+	outcomes := repro.ParallelQueries(db, []repro.QuerySpec{
+		{Agg: repro.Min(3), K: 1},
+		{Agg: repro.Min(2), K: 1}, // arity mismatch
+	}, 2)
+	if outcomes[0].Err != nil {
+		t.Fatalf("query 0 failed: %v", outcomes[0].Err)
+	}
+	if outcomes[1].Err == nil {
+		t.Fatal("query 1 should have failed")
+	}
+}
+
+func TestParallelQueriesEmpty(t *testing.T) {
+	if out := repro.ParallelQueries(sampleDB(t), nil, 4); len(out) != 0 {
+		t.Fatalf("got %d outcomes for empty batch", len(out))
+	}
+}

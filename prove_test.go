@@ -1,0 +1,46 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestProvedQueryValidCertificates(t *testing.T) {
+	db := sampleDB(t)
+	for _, opts := range []repro.Options{
+		{},
+		{Algorithm: repro.AlgoFA},
+		{Algorithm: repro.AlgoCA, Costs: repro.CostModel{CS: 1, CR: 3}},
+		{NoRandomAccess: true},
+		{Theta: 1.5},
+	} {
+		res, rep, err := repro.ProvedQuery(db, repro.Avg(3), 2, opts, false)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !rep.Valid {
+			t.Errorf("%+v: certificate invalid: %s", opts, rep.Reason)
+		}
+		if rep.AnswerFloor < rep.Ceiling-1e-9 {
+			t.Errorf("%+v: floor %v below ceiling %v yet marked valid", opts, rep.AnswerFloor, rep.Ceiling)
+		}
+		if len(res.Items) != 2 {
+			t.Errorf("%+v: %d items", opts, len(res.Items))
+		}
+		if rep.Trace == "" || !strings.Contains(rep.Trace, "S0") {
+			t.Errorf("%+v: trace missing: %q", opts, rep.Trace)
+		}
+	}
+}
+
+func TestProvedQueryErrors(t *testing.T) {
+	if _, _, err := repro.ProvedQuery(nil, repro.Min(3), 1, repro.Options{}, false); err == nil {
+		t.Error("nil database accepted")
+	}
+	db := sampleDB(t)
+	if _, _, err := repro.ProvedQuery(db, repro.Min(2), 1, repro.Options{}, false); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

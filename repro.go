@@ -1,0 +1,192 @@
+// Package repro is a Go implementation of the optimal aggregation
+// algorithms for middleware of Fagin, Lotem and Naor (PODS 2001): the
+// threshold algorithm TA and its variants (TAθ, TAz), the no-random-access
+// algorithm NRA, the combined algorithm CA, and the baselines FA (Fagin's
+// algorithm), Naive and the max-specialized MaxTopK — together with the
+// middleware access model (sorted/random access with costs cS and cR) and
+// full access accounting.
+//
+// A database is m sorted lists over N objects, each object carrying one
+// grade per list in [0,1]; a query asks for the k objects with the highest
+// overall grade under a monotone aggregation function such as Min or Avg.
+//
+// Quick start:
+//
+//	b := repro.NewBuilder(2)
+//	b.MustAdd(1, 0.9, 0.3)
+//	b.MustAdd(2, 0.5, 0.8)
+//	db := b.MustBuild()
+//	res, err := repro.TopK(db, repro.Min(2), 1)
+//
+// The zero-configuration TopK uses TA; Query gives full control over
+// algorithm choice, access policy, cost model and approximation.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Re-exported data-model types.
+type (
+	// ObjectID identifies an object.
+	ObjectID = model.ObjectID
+	// Grade is an attribute or overall grade.
+	Grade = model.Grade
+	// Database is m sorted lists over a common object set.
+	Database = model.Database
+	// Builder assembles a Database object-by-object.
+	Builder = model.Builder
+	// AggFunc is a monotone aggregation function.
+	AggFunc = agg.Func
+	// Result is a completed top-k run with access accounting.
+	Result = core.Result
+	// Scored is one answer item.
+	Scored = core.Scored
+	// CostModel carries the sorted/random access costs cS and cR.
+	CostModel = access.CostModel
+	// Stats is the per-run access accounting.
+	Stats = access.Stats
+	// ProgressView is the early-stopping callback view.
+	ProgressView = core.Progress
+)
+
+// NewBuilder starts a Database builder for m attributes.
+func NewBuilder(m int) *Builder { return model.NewBuilder(m) }
+
+// Re-exported aggregation constructors.
+var (
+	// Min is fuzzy conjunction (strict, strictly monotone).
+	Min = agg.Min
+	// Max is fuzzy disjunction.
+	Max = agg.Max
+	// Sum is the information-retrieval scoring function.
+	Sum = agg.Sum
+	// Avg is the average (strict, strictly monotone in each argument).
+	Avg = agg.Avg
+	// Product is the Aksoy–Franklin broadcast scoring function.
+	Product = agg.Product
+	// Median is the (lower) median.
+	Median = agg.Median
+	// WeightedSum is Σ wᵢ·xᵢ for fixed non-negative weights.
+	WeightedSum = agg.WeightedSum
+	// GeometricMean is (Πxᵢ)^(1/m).
+	GeometricMean = agg.GeometricMean
+)
+
+// AlgorithmName selects the top-k algorithm in Options.
+type AlgorithmName string
+
+// Available algorithms.
+const (
+	// AlgoTA is the threshold algorithm (default; instance optimal for
+	// every monotone aggregation among no-wild-guess algorithms).
+	AlgoTA AlgorithmName = "TA"
+	// AlgoFA is Fagin's algorithm (the paper's baseline).
+	AlgoFA AlgorithmName = "FA"
+	// AlgoNRA makes no random accesses and returns the top-k objects
+	// with grade intervals instead of exact grades.
+	AlgoNRA AlgorithmName = "NRA"
+	// AlgoCA is the combined algorithm (random-access phase every
+	// ⌊cR/cS⌋ depths; optimality ratio independent of cR/cS under the
+	// Theorem 8.9/8.10 conditions).
+	AlgoCA AlgorithmName = "CA"
+	// AlgoNaive scans everything; the ground-truth baseline.
+	AlgoNaive AlgorithmName = "Naive"
+	// AlgoMaxTopK is the mk-sorted-access specialization for Max.
+	AlgoMaxTopK AlgorithmName = "MaxTopK"
+)
+
+// Options configures Query.
+type Options struct {
+	// Algorithm selects the algorithm; empty means AlgoTA (or AlgoNRA
+	// automatically when the policy forbids random access).
+	Algorithm AlgorithmName
+	// Costs is the middleware cost model; zero means cS = cR = 1.
+	Costs CostModel
+	// Theta > 1 asks TA for a θ-approximation (Section 6.2).
+	Theta float64
+	// NoRandomAccess forbids random access (search-engine scenario);
+	// with the default algorithm this selects NRA.
+	NoRandomAccess bool
+	// SortedLists, when non-empty, restricts sorted access to these
+	// list indices (Section 7's Z); TA then behaves as TAz.
+	SortedLists []int
+	// Memoize lets TA cache grades (unbounded buffer, fewer repeat
+	// random accesses).
+	Memoize bool
+	// OnProgress, when non-nil, is invoked by TA after every sorted
+	// access; returning false stops early with the current guarantee.
+	OnProgress func(ProgressView) bool
+}
+
+// TopK returns the top k objects of db under t using TA with unit costs.
+func TopK(db *Database, t AggFunc, k int) (*Result, error) {
+	return Query(db, t, k, Options{})
+}
+
+// Query runs a top-k query with full control over the algorithm, the
+// access policy and the cost model. The returned Result carries the answer
+// and the run's access accounting; Result.Cost(opts.Costs) is the paper's
+// middleware cost.
+func Query(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
+	al, src, err := prepare(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return al.Run(src, t, k)
+}
+
+// prepare resolves Options into an algorithm and a fresh accounting Source.
+func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error) {
+	if db == nil {
+		return nil, nil, fmt.Errorf("repro: nil database")
+	}
+	costs := opts.Costs
+	if costs.CS == 0 && costs.CR == 0 {
+		costs = access.UnitCosts
+	}
+	if costs.CS <= 0 || costs.CR < 0 {
+		return nil, nil, fmt.Errorf("repro: invalid cost model %+v", costs)
+	}
+	policy := access.Policy{NoRandom: opts.NoRandomAccess}
+	if len(opts.SortedLists) > 0 {
+		policy.SortedLists = make(map[int]bool, len(opts.SortedLists))
+		for _, i := range opts.SortedLists {
+			if i < 0 || i >= db.M() {
+				return nil, nil, fmt.Errorf("repro: sorted list index %d out of range [0,%d)", i, db.M())
+			}
+			policy.SortedLists[i] = true
+		}
+	}
+	name := opts.Algorithm
+	if name == "" {
+		if opts.NoRandomAccess {
+			name = AlgoNRA
+		} else {
+			name = AlgoTA
+		}
+	}
+	var al core.Algorithm
+	switch name {
+	case AlgoTA:
+		al = &core.TA{Theta: opts.Theta, Memoize: opts.Memoize, OnProgress: opts.OnProgress}
+	case AlgoFA:
+		al = core.FA{}
+	case AlgoNRA:
+		al = &core.NRA{}
+	case AlgoCA:
+		al = &core.CA{Costs: costs}
+	case AlgoNaive:
+		al = core.Naive{}
+	case AlgoMaxTopK:
+		al = core.MaxTopK{}
+	default:
+		return nil, nil, fmt.Errorf("repro: unknown algorithm %q", name)
+	}
+	return al, access.New(db, policy), nil
+}
