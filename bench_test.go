@@ -7,12 +7,15 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/adversary"
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -293,6 +296,60 @@ func BenchmarkE17MaxAndSchedulers(b *testing.B) {
 		}
 		b.ReportMetric(accesses, "accesses")
 	})
+}
+
+// BenchmarkShardedTA — the sharded concurrent engine vs single-shard TA
+// on the large uniform workload. Partitioning happens once per shard
+// count (outside the timed loop, as a production deployment would); each
+// iteration answers one top-10 query. The speedup-vs-P1 metric divides
+// the measured single-shard wall-clock by the sharded one within the same
+// iteration; with GOMAXPROCS ≥ P it reflects intra-query parallelism
+// (sharding splits the same total access work across P workers, so on a
+// single-core runner the ratio sits near 1 instead).
+func BenchmarkShardedTA(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 200000, M: 3, Seed: 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	const k = 10
+	single, err := shard.New(db, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := shard.New(db, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			// Baseline: best of three single-shard runs, untimed, so
+			// ns/op reflects only the sharded query under test.
+			baseline := time.Duration(1<<63 - 1)
+			for r := 0; r < 3; r++ {
+				t0 := time.Now()
+				if _, err := single.Query(tf, k, shard.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				if d := time.Since(t0); d < baseline {
+					baseline = d
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(tf, k, shard.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Items) != k {
+					b.Fatalf("got %d items", len(res.Items))
+				}
+			}
+			b.StopTimer()
+			per := b.Elapsed() / time.Duration(b.N)
+			b.ReportMetric(float64(baseline)/float64(per), "speedup-vs-P1")
+		})
+	}
 }
 
 // --- micro-benchmarks of the algorithms themselves ---

@@ -8,6 +8,7 @@
 //	topk -data db.csv -agg avg -k 5 -algo CA -cs 1 -cr 10
 //	topk -data db.csv -agg sum -k 3 -algo NRA -no-random
 //	topk -data db.csv -agg avg -k 5 -theta 1.5
+//	topk -data db.csv -agg avg -k 10 -shards 4
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		cr       = flag.Float64("cr", 1, "random access cost cR")
 		theta    = flag.Float64("theta", 0, "θ-approximation parameter (>1 enables TAθ)")
 		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
+		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (requires TA; 0 = no sharding)")
+		workers  = flag.Int("shard-workers", 0, "max concurrent shard workers (0 = one per shard)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -57,11 +60,17 @@ func main() {
 		Costs:          repro.CostModel{CS: *cs, CR: *cr},
 		Theta:          *theta,
 		NoRandomAccess: *noRandom,
+		Shards:         *shards,
+		ShardWorkers:   *workers,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("top %d under %s (%s, N=%d, m=%d):\n", *k, *aggName, normalizeAlgo(*algo), db.N(), db.M())
+	engine := normalizeAlgo(*algo)
+	if *shards >= 1 {
+		engine = fmt.Sprintf("sharded TA, P=%d", *shards)
+	}
+	fmt.Printf("top %d under %s (%s, N=%d, m=%d):\n", *k, *aggName, engine, db.N(), db.M())
 	for i, it := range res.Items {
 		if res.GradesExact {
 			fmt.Printf("%3d. object %-8d grade %.6g\n", i+1, it.Object, float64(it.Grade))

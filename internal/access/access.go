@@ -254,6 +254,13 @@ func (s *Source) ReportBuffer(n int) {
 // (Remark 8.7's bookkeeping-cost measurement).
 func (s *Source) CountBoundRecompute(n int64) { s.stats.BoundRecomputes += n }
 
+// Counts returns the running sorted- and random-access totals without
+// copying the full Stats (the per-access progress hooks read these on the
+// hot path).
+func (s *Source) Counts() (sorted, random int64) {
+	return s.stats.Sorted, s.stats.Random
+}
+
 // Stats returns a copy of the accumulated accounting.
 func (s *Source) Stats() Stats {
 	out := s.stats

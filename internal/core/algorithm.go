@@ -45,27 +45,36 @@ type Algorithm interface {
 // ErrBadQuery wraps all query validation failures.
 var ErrBadQuery = errors.New("core: invalid query")
 
-// validate performs the shared query checks. The paper assumes throughout
-// that the database has at least k objects; we enforce it.
-func validate(src *access.Source, t agg.Func, k int) error {
-	if src == nil {
-		return fmt.Errorf("%w: nil source", ErrBadQuery)
-	}
+// ValidateQueryShape performs the query checks shared by every execution
+// path — sequential runs, batch pre-validation and the sharded engine —
+// over a database with m lists and n objects: aggregation present with
+// matching arity, a supported list count, and 1 ≤ k ≤ n (the paper
+// assumes throughout that the database has at least k objects). All
+// failures wrap ErrBadQuery.
+func ValidateQueryShape(m, n int, t agg.Func, k int) error {
 	if t == nil {
 		return fmt.Errorf("%w: nil aggregation function", ErrBadQuery)
 	}
-	if t.Arity() != src.M() {
+	if t.Arity() != m {
 		return fmt.Errorf("%w: aggregation %s has arity %d but database has %d lists",
-			ErrBadQuery, t.Name(), t.Arity(), src.M())
+			ErrBadQuery, t.Name(), t.Arity(), m)
 	}
-	if src.M() > MaxLists {
-		return fmt.Errorf("%w: %d lists exceeds the supported maximum of %d", ErrBadQuery, src.M(), MaxLists)
+	if m > MaxLists {
+		return fmt.Errorf("%w: %d lists exceeds the supported maximum of %d", ErrBadQuery, m, MaxLists)
 	}
 	if k < 1 {
 		return fmt.Errorf("%w: k must be at least 1, got %d", ErrBadQuery, k)
 	}
-	if k > src.N() {
-		return fmt.Errorf("%w: k=%d exceeds database size N=%d", ErrBadQuery, k, src.N())
+	if k > n {
+		return fmt.Errorf("%w: k=%d exceeds database size N=%d", ErrBadQuery, k, n)
 	}
 	return nil
+}
+
+// validate performs the shared query checks against a live source.
+func validate(src *access.Source, t agg.Func, k int) error {
+	if src == nil {
+		return fmt.Errorf("%w: nil source", ErrBadQuery)
+	}
+	return ValidateQueryShape(src.M(), src.N(), t, k)
 }

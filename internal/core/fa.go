@@ -87,11 +87,11 @@ func (FA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 
 	// Phase 3: grade everything seen and keep the k best.
-	heap := newTopKHeap(k)
+	heap := NewTopKBuffer(k)
 	for obj, st := range seen {
-		heap.offer(Scored{Object: obj, Grade: t.Apply(st.grades)})
+		heap.Offer(Scored{Object: obj, Grade: t.Apply(st.grades)})
 	}
-	items := heap.snapshot()
+	items := heap.Snapshot()
 	for i := range items {
 		items[i].Lower = items[i].Grade
 		items[i].Upper = items[i].Grade

@@ -45,11 +45,11 @@ func (Naive) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		}
 		src.ReportBuffer(len(grades))
 	}
-	heap := newTopKHeap(k)
+	heap := NewTopKBuffer(k)
 	for obj, gs := range grades {
-		heap.offer(Scored{Object: obj, Grade: t.Apply(gs)})
+		heap.Offer(Scored{Object: obj, Grade: t.Apply(gs)})
 	}
-	items := heap.snapshot()
+	items := heap.Snapshot()
 	for i := range items {
 		items[i].Lower = items[i].Grade
 		items[i].Upper = items[i].Grade
@@ -101,11 +101,11 @@ func (MaxTopK) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		}
 		src.ReportBuffer(len(best))
 	}
-	heap := newTopKHeap(k)
+	heap := NewTopKBuffer(k)
 	for obj, g := range best {
-		heap.offer(Scored{Object: obj, Grade: g})
+		heap.Offer(Scored{Object: obj, Grade: g})
 	}
-	items := heap.snapshot()
+	items := heap.Snapshot()
 	for i := range items {
 		items[i].Lower = items[i].Grade
 		items[i].Upper = items[i].Grade

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/access"
 	"repro/internal/agg"
@@ -41,6 +42,13 @@ type NRA struct {
 	// Engine selects the bookkeeping strategy; both produce a correct
 	// top-k, differing only in internal recomputation effort.
 	Engine Engine
+	// OnProgress, when non-nil, is invoked after every sorted-access
+	// round with the current view (TopK carries the current T_k with
+	// [W, B] intervals, Threshold the best possible grade of an unseen
+	// object); returning false stops the run early with the current
+	// view. This is the same cancellable run hook TA exposes, so batch
+	// and sharded execution can stop NRA workers mid-run.
+	OnProgress func(Progress) bool
 }
 
 // Name implements Algorithm.
@@ -72,6 +80,23 @@ func (a *NRA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		src.ReportBuffer(len(tb.parts))
 		if tb.halted() {
 			return tb.result(tb.depth), nil
+		}
+		if a.OnProgress != nil {
+			res := tb.result(tb.depth)
+			// The view is not yet certified: halting has not fired, so
+			// a stopped run carries no approximation guarantee.
+			res.Theta = math.Inf(1)
+			sorted, random := src.Counts()
+			if !a.OnProgress(Progress{
+				TopK:      res.Items,
+				Threshold: tb.threshold(),
+				Guarantee: res.Theta,
+				Depth:     tb.depth,
+				Sorted:    sorted,
+				Random:    random,
+			}) {
+				return res, nil
+			}
 		}
 		if !progress {
 			// All lists exhausted: every grade of every object is

@@ -89,36 +89,36 @@ func TestResultHelpers(t *testing.T) {
 }
 
 func TestTopKHeapSemantics(t *testing.T) {
-	h := newTopKHeap(2)
-	if h.full() {
+	h := NewTopKBuffer(2)
+	if h.Full() {
 		t.Fatal("empty heap reports full")
 	}
-	h.offer(Scored{Object: 1, Grade: 0.5})
-	h.offer(Scored{Object: 2, Grade: 0.7})
-	if !h.full() || h.kth() != 0.5 {
+	h.Offer(Scored{Object: 1, Grade: 0.5})
+	h.Offer(Scored{Object: 2, Grade: 0.7})
+	if !h.Full() || h.Kth() != 0.5 {
 		t.Fatalf("heap %+v", h.items)
 	}
 	// Re-offering an existing object must not duplicate it.
-	h.offer(Scored{Object: 1, Grade: 0.5})
+	h.Offer(Scored{Object: 1, Grade: 0.5})
 	if len(h.items) != 2 {
 		t.Fatalf("duplicate inserted: %+v", h.items)
 	}
 	// A better candidate displaces the worst.
-	h.offer(Scored{Object: 3, Grade: 0.9})
-	if h.kth() != 0.7 || h.items[0].Object != 3 {
+	h.Offer(Scored{Object: 3, Grade: 0.9})
+	if h.Kth() != 0.7 || h.items[0].Object != 3 {
 		t.Fatalf("heap after displacement: %+v", h.items)
 	}
 	// Equal grade: lower id wins the tie against the current worst.
-	h.offer(Scored{Object: 0, Grade: 0.7})
+	h.Offer(Scored{Object: 0, Grade: 0.7})
 	if h.items[1].Object != 0 {
 		t.Fatalf("tie-break failed: %+v", h.items)
 	}
 	// Worse candidates bounce off.
-	h.offer(Scored{Object: 9, Grade: 0.1})
-	if len(h.items) != 2 || h.kth() != 0.7 {
+	h.Offer(Scored{Object: 9, Grade: 0.1})
+	if len(h.items) != 2 || h.Kth() != 0.7 {
 		t.Fatalf("heap accepted a worse candidate: %+v", h.items)
 	}
-	snap := h.snapshot()
+	snap := h.Snapshot()
 	snap[0].Grade = 0
 	if h.items[0].Grade == 0 {
 		t.Fatal("snapshot aliases the heap")

@@ -93,24 +93,28 @@ func sortScoredDesc(items []Scored) {
 	})
 }
 
-// topKHeap is a fixed-capacity collection of the k best (grade, object)
+// TopKBuffer is a fixed-capacity collection of the k best (grade, object)
 // pairs seen so far; ties are broken toward smaller object ids (arbitrary
 // per the paper, deterministic for tests). It is TA's entire object buffer:
 // Theorem 4.2's bounded-buffer property is visible in that nothing else
-// about previously seen objects is retained.
-type topKHeap struct {
+// about previously seen objects is retained. The sharded engine reuses it
+// as the coordinator's global heap, so shard merges follow exactly the
+// same canonical (grade descending, ObjectID ascending) order.
+type TopKBuffer struct {
 	k     int
 	items []Scored // kept sorted descending; k is small (constant)
 }
 
-func newTopKHeap(k int) *topKHeap {
-	return &topKHeap{k: k, items: make([]Scored, 0, k)}
+// NewTopKBuffer returns an empty buffer retaining the k best candidates.
+func NewTopKBuffer(k int) *TopKBuffer {
+	return &TopKBuffer{k: k, items: make([]Scored, 0, k)}
 }
 
-// offer inserts the candidate if it belongs in the top k. An object already
-// present is updated rather than duplicated (TA can see the same object in
-// several lists).
-func (h *topKHeap) offer(s Scored) {
+// Offer inserts the candidate if it belongs in the top k. An object already
+// present is left untouched rather than duplicated (TA can see the same
+// object in several lists; callers must re-offer an object only with the
+// same grade).
+func (h *TopKBuffer) Offer(s Scored) {
 	for i := range h.items {
 		if h.items[i].Object == s.Object {
 			// Same object re-encountered: grade is identical by
@@ -131,14 +135,14 @@ func (h *topKHeap) offer(s Scored) {
 	}
 }
 
-// full reports whether k items are held.
-func (h *topKHeap) full() bool { return len(h.items) == h.k }
+// Full reports whether k items are held.
+func (h *TopKBuffer) Full() bool { return len(h.items) == h.k }
 
-// kth returns the grade of the worst retained item; call only when full.
-func (h *topKHeap) kth() model.Grade { return h.items[len(h.items)-1].Grade }
+// Kth returns the grade of the worst retained item; call only when full.
+func (h *TopKBuffer) Kth() model.Grade { return h.items[len(h.items)-1].Grade }
 
-// snapshot returns a copy of the current items, best first.
-func (h *topKHeap) snapshot() []Scored {
+// Snapshot returns a copy of the current items, best first.
+func (h *TopKBuffer) Snapshot() []Scored {
 	out := make([]Scored, len(h.items))
 	copy(out, h.items)
 	return out

@@ -47,8 +47,18 @@ type TA struct {
 	// OnProgress, when non-nil, is invoked after every sorted access
 	// with the current view; returning false stops the run early with
 	// the current view and its guarantee (Section 6.2's early
-	// stopping).
+	// stopping). It is also the cancellation hook the sharded engine
+	// uses to stop a shard's worker once its threshold can no longer
+	// affect the global answer.
 	OnProgress func(Progress) bool
+	// StrictStop tightens the stopping rule from "kth grade ≥ τ" to
+	// "kth grade > τ", so the run cannot halt while an unseen object
+	// could still tie the kth grade. The paper breaks ties arbitrarily,
+	// so stock TA may return either tied object; with StrictStop the
+	// answer is canonical — the top k by (grade descending, ObjectID
+	// ascending) — which is what the sharded engine needs for
+	// shard-count-independent results. Incompatible with Theta > 1.
+	StrictStop bool
 }
 
 // Name implements Algorithm.
@@ -70,6 +80,9 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 	if theta < 1 {
 		return nil, fmt.Errorf("%w: θ must be at least 1, got %g", ErrBadQuery, theta)
+	}
+	if a.StrictStop && theta > 1 {
+		return nil, fmt.Errorf("%w: StrictStop requires an exact run (θ = 1), got θ = %g", ErrBadQuery, theta)
 	}
 	m := src.M()
 	anySorted := false
@@ -105,7 +118,7 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		view.PrevBottom[i] = 1
 	}
 
-	heap := newTopKHeap(k)
+	heap := NewTopKBuffer(k)
 	var memo map[model.ObjectID]model.Grade
 	if a.Memoize {
 		memo = make(map[model.ObjectID]model.Grade)
@@ -114,7 +127,7 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	threshold := func() model.Grade { return t.Apply(view.Bottom) }
 
 	finish := func(exact bool, tau model.Grade) *Result {
-		items := heap.snapshot()
+		items := heap.Snapshot()
 		for i := range items {
 			items[i].Lower = items[i].Grade
 			items[i].Upper = items[i].Grade
@@ -184,33 +197,40 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 				memo[e.Object] = overall
 			}
 		}
-		heap.offer(Scored{Object: e.Object, Grade: overall})
+		heap.Offer(Scored{Object: e.Object, Grade: overall})
 		src.ReportBuffer(k + len(memo))
 
 		tau := threshold()
 		if a.OnProgress != nil {
 			p := Progress{
-				TopK:      heap.snapshot(),
+				TopK:      heap.Snapshot(),
 				Threshold: tau,
 				Guarantee: math.Inf(1),
 				Depth:     maxInt(view.Depth),
 			}
-			st := src.Stats()
-			p.Sorted, p.Random = st.Sorted, st.Random
-			if heap.full() && heap.kth() > 0 {
-				p.Guarantee = math.Max(1, float64(tau)/float64(heap.kth()))
+			p.Sorted, p.Random = src.Counts()
+			if heap.Full() && heap.Kth() > 0 {
+				p.Guarantee = math.Max(1, float64(tau)/float64(heap.Kth()))
 			}
 			if !a.OnProgress(p) {
 				return finish(false, tau), nil
 			}
 		}
-		// Stopping rule: at least k objects seen with grade ≥ τ/θ.
-		if heap.full() && float64(heap.kth())*theta >= float64(tau) {
-			res := finish(true, tau)
-			if theta > 1 {
-				res.Theta = theta
+		// Stopping rule: at least k objects seen with grade ≥ τ/θ
+		// (strictly above τ under StrictStop, so ties at the kth grade
+		// are fully resolved before halting).
+		if heap.Full() {
+			stop := float64(heap.Kth())*theta >= float64(tau)
+			if a.StrictStop {
+				stop = heap.Kth() > tau
 			}
-			return res, nil
+			if stop {
+				res := finish(true, tau)
+				if theta > 1 {
+					res.Theta = theta
+				}
+				return res, nil
+			}
 		}
 	}
 }

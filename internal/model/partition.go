@@ -1,0 +1,58 @@
+package model
+
+import "fmt"
+
+// Partition splits the database into p object-disjoint shards. Objects are
+// assigned round-robin over the ascending ObjectID order, so shard sizes
+// differ by at most one; each shard's lists are the original sorted lists
+// filtered to the shard's objects, preserving their relative order exactly
+// (including within-tie placement, which NewListPresorted keeps intact).
+// The union of the shards is the original database, and a top-k query over
+// the database equals the k best of the per-shard top-k answers merged by
+// (grade, ObjectID) — the property the sharded engine relies on.
+//
+// p must be at least 1; a p exceeding the number of objects is clamped to
+// it, so no shard is ever empty. Object names (AddNamed) carry over.
+func (d *Database) Partition(p int) ([]*Database, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("model: partition count must be positive, got %d", p)
+	}
+	if p > len(d.objects) {
+		p = len(d.objects)
+	}
+	shardOf := make(map[ObjectID]int, len(d.objects))
+	for i, obj := range d.objects {
+		shardOf[obj] = i % p
+	}
+	shards := make([]*Database, p)
+	for s := 0; s < p; s++ {
+		lists := make([]*List, len(d.lists))
+		for j, l := range d.lists {
+			entries := make([]Entry, 0, (len(d.objects)+p-1)/p)
+			for _, e := range l.entries {
+				if shardOf[e.Object] == s {
+					entries = append(entries, e)
+				}
+			}
+			sl, err := NewListPresorted(entries)
+			if err != nil {
+				return nil, fmt.Errorf("model: shard %d list %d: %w", s, j, err)
+			}
+			lists[j] = sl
+		}
+		db, err := NewDatabase(lists)
+		if err != nil {
+			return nil, fmt.Errorf("model: shard %d: %w", s, err)
+		}
+		if d.names != nil {
+			db.names = make(map[ObjectID]string)
+			for _, obj := range db.objects {
+				if name, ok := d.names[obj]; ok {
+					db.names[obj] = name
+				}
+			}
+		}
+		shards[s] = db
+	}
+	return shards, nil
+}

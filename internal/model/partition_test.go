@@ -1,0 +1,125 @@
+package model
+
+import "testing"
+
+func partitionFixture(t *testing.T) *Database {
+	t.Helper()
+	b := NewBuilder(2)
+	// Deliberate grade ties in list 0 to check within-tie order survives.
+	b.MustAdd(0, 0.9, 0.1)
+	b.MustAdd(1, 0.9, 0.5)
+	b.MustAdd(2, 0.9, 0.9)
+	b.MustAdd(3, 0.5, 0.3)
+	b.MustAdd(4, 0.4, 0.8)
+	b.MustAdd(5, 0.3, 0.2)
+	b.MustAdd(6, 0.2, 0.7)
+	return b.MustBuild()
+}
+
+func TestPartitionShapesAndDisjointness(t *testing.T) {
+	db := partitionFixture(t)
+	for _, p := range []int{1, 2, 3, 7} {
+		shards, err := db.Partition(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(shards) != p {
+			t.Fatalf("p=%d: got %d shards", p, len(shards))
+		}
+		seen := make(map[ObjectID]bool)
+		total := 0
+		for s, sh := range shards {
+			if sh.M() != db.M() {
+				t.Fatalf("p=%d shard %d: M=%d, want %d", p, s, sh.M(), db.M())
+			}
+			if sh.N() == 0 {
+				t.Fatalf("p=%d shard %d: empty", p, s)
+			}
+			total += sh.N()
+			for _, obj := range sh.Objects() {
+				if seen[obj] {
+					t.Fatalf("p=%d: object %d in two shards", p, obj)
+				}
+				seen[obj] = true
+				// Grades must be unchanged.
+				for i := 0; i < db.M(); i++ {
+					want, _ := db.List(i).GradeOf(obj)
+					got, ok := sh.List(i).GradeOf(obj)
+					if !ok || got != want {
+						t.Fatalf("p=%d shard %d: object %d list %d grade %v, want %v", p, s, obj, i, got, want)
+					}
+				}
+			}
+		}
+		if total != db.N() {
+			t.Fatalf("p=%d: shards cover %d objects, want %d", p, total, db.N())
+		}
+	}
+}
+
+func TestPartitionPreservesListOrder(t *testing.T) {
+	db := partitionFixture(t)
+	shards, err := db.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sh := range shards {
+		for i := 0; i < db.M(); i++ {
+			// Each shard list must be a subsequence of the original:
+			// relative order (including within ties) preserved exactly.
+			full := db.List(i).Entries()
+			pos := 0
+			for r := 0; r < sh.List(i).Len(); r++ {
+				e := sh.List(i).At(r)
+				for pos < len(full) && full[pos].Object != e.Object {
+					pos++
+				}
+				if pos == len(full) {
+					t.Fatalf("shard %d list %d: entry %v out of original order", s, i, e)
+				}
+				pos++
+			}
+		}
+	}
+}
+
+func TestPartitionClampAndErrors(t *testing.T) {
+	db := partitionFixture(t)
+	if _, err := db.Partition(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := db.Partition(-3); err == nil {
+		t.Error("p=-3 accepted")
+	}
+	shards, err := db.Partition(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != db.N() {
+		t.Fatalf("p=100 clamps to N=%d, got %d shards", db.N(), len(shards))
+	}
+}
+
+func TestPartitionCarriesNames(t *testing.T) {
+	b := NewBuilder(1)
+	if _, err := b.AddNamed("alpha", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNamed("beta", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	db := b.MustBuild()
+	shards, err := db.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sh := range shards {
+		for _, obj := range sh.Objects() {
+			names[sh.Name(obj)] = true
+		}
+	}
+	if !names["alpha"] || !names["beta"] {
+		t.Fatalf("names lost in partition: %v", names)
+	}
+}

@@ -1,0 +1,39 @@
+package shard
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines and blocks until all calls return. workers <= 0 or > n means
+// one goroutine per item. It is the single worker-pool implementation
+// shared by the batch query API (repro.ParallelQueries) and the sharded
+// engine's per-shard workers.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

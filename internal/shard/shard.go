@@ -1,0 +1,263 @@
+// Package shard implements a sharded concurrent top-k engine on top of the
+// threshold algorithm of Fagin, Lotem and Naor (PODS 2001). The database is
+// partitioned into object-disjoint shards (model.Database.Partition), one
+// TA worker goroutine runs per shard against its own accounting
+// access.Source, and a coordinator merges every shard's candidates into a
+// global top-k heap.
+//
+// Early stopping mirrors TA's threshold argument, distributed: each worker
+// exposes its per-shard threshold τ_s after every sorted access, and the
+// global threshold τ_global = max over live shards of τ_s bounds the grade
+// of every unseen object anywhere. The coordinator cancels shard s as soon
+// as τ_s falls strictly below the global kth grade — no unseen object of s
+// can still reach the answer — and once τ_global itself is strictly below
+// the kth grade that rule has cancelled every worker, which is exactly the
+// global TA stopping rule. Workers run TA with StrictStop, so the merged
+// answer is canonical — the top k by (grade descending, ObjectID
+// ascending) — and therefore identical for every shard count, including
+// the unsharded P=1 run.
+//
+// The hot path is kept cheap: a worker takes the coordinator lock only
+// when its local top-k actually changed; otherwise it just reads the
+// global kth grade from an atomic and compares it against its threshold.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Options configures one sharded query.
+type Options struct {
+	// Workers bounds the number of concurrently running shard workers;
+	// 0 means one goroutine per shard.
+	Workers int
+	// Memoize lets each shard's TA worker cache computed grades
+	// (unbounded per-shard buffer, fewer repeat random accesses).
+	Memoize bool
+}
+
+// Engine is a database partitioned for sharded querying. Partitioning
+// happens once at construction; the engine is immutable afterwards and
+// safe for concurrent Query calls, each of which gets fresh per-shard
+// access.Sources and accounting.
+type Engine struct {
+	shards []*model.Database
+	m      int
+	n      int // total objects across shards
+}
+
+// New partitions db into p object-disjoint shards (see
+// model.Database.Partition; p is clamped to the number of objects).
+func New(db *model.Database, p int) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("shard: nil database")
+	}
+	shards, err := db.Partition(p)
+	if err != nil {
+		return nil, err
+	}
+	return FromShards(shards)
+}
+
+// FromShards assembles an engine from pre-partitioned shards — the
+// multi-backend scenario where each shard already lives behind its own
+// subsystem. Shards must be non-nil, agree on the number of lists, and be
+// object-disjoint.
+func FromShards(shards []*model.Database) (*Engine, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: need at least one shard")
+	}
+	var m, total int
+	seen := make(map[model.ObjectID]int)
+	for s, db := range shards {
+		if db == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", s)
+		}
+		if s == 0 {
+			m = db.M()
+		} else if db.M() != m {
+			return nil, fmt.Errorf("shard: shard %d has %d lists, want %d", s, db.M(), m)
+		}
+		for _, obj := range db.Objects() {
+			if prev, dup := seen[obj]; dup {
+				return nil, fmt.Errorf("shard: object %d appears in shards %d and %d", obj, prev, s)
+			}
+			seen[obj] = s
+		}
+		total += db.N()
+	}
+	return &Engine{shards: shards, m: m, n: total}, nil
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// M returns the number of lists (attributes).
+func (e *Engine) M() int { return e.m }
+
+// N returns the total number of objects across all shards.
+func (e *Engine) N() int { return e.n }
+
+// Query runs a sharded top-k query; see QueryContext.
+func (e *Engine) Query(t agg.Func, k int, opts Options) (*core.Result, error) {
+	return e.QueryContext(context.Background(), t, k, opts)
+}
+
+// noKth is the atomic kth-grade sentinel while the global heap is not yet
+// full: grades are non-negative, so no threshold compares below it and no
+// shard is cancelled prematurely.
+const noKth = -1.0
+
+// coordinator is the shared state behind one sharded query: the global
+// canonical top-k heap plus the cancellation bound derived from it.
+type coordinator struct {
+	mu      sync.Mutex
+	top     *core.TopKBuffer
+	kthBits atomic.Uint64 // Float64bits of the global kth grade, noKth until full
+	stopped atomic.Bool   // external cancellation or a worker error
+}
+
+func newCoordinator(k int) *coordinator {
+	c := &coordinator{top: core.NewTopKBuffer(k)}
+	c.kthBits.Store(math.Float64bits(noKth))
+	return c
+}
+
+// merge folds a worker's current candidates into the global heap and
+// refreshes the published kth grade.
+func (c *coordinator) merge(items []core.Scored) {
+	c.mu.Lock()
+	for _, it := range items {
+		c.top.Offer(it)
+	}
+	if c.top.Full() {
+		c.kthBits.Store(math.Float64bits(float64(c.top.Kth())))
+	}
+	c.mu.Unlock()
+}
+
+// kth returns the published global kth grade (noKth while not full).
+func (c *coordinator) kth() float64 {
+	return math.Float64frombits(c.kthBits.Load())
+}
+
+// abort stops every worker at its next progress report.
+func (c *coordinator) abort() { c.stopped.Store(true) }
+
+// equalScored reports whether two snapshots hold the same items; grades
+// are exact per object, so Object equality per position suffices.
+func equalScored(a, b []core.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Object != b[i].Object {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryContext runs a top-k query across all shards concurrently and
+// merges the per-shard answers into the exact global top k. The returned
+// Result is canonical and identical for every shard count; its Stats are
+// the summed accounting of all shard workers (PerList sums align by
+// attribute index, MaxBuffered is the summed per-worker peak), and Rounds
+// is the deepest worker's round count. Cancelling ctx stops all workers
+// at their next sorted access and returns ctx's error.
+func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Options) (*core.Result, error) {
+	if err := core.ValidateQueryShape(e.m, e.n, t, k); err != nil {
+		return nil, err
+	}
+	p := len(e.shards)
+	coord := newCoordinator(k)
+	results := make([]*core.Result, p)
+	errs := make([]error, p)
+	ForEach(p, opts.Workers, func(s int) {
+		db := e.shards[s]
+		ks := k
+		if n := db.N(); ks > n {
+			ks = n // a shard smaller than k contributes all its objects
+		}
+		var last []core.Scored
+		ta := &core.TA{
+			StrictStop: true,
+			Memoize:    opts.Memoize,
+			OnProgress: func(pr core.Progress) bool {
+				if coord.stopped.Load() {
+					return false
+				}
+				if ctx.Err() != nil {
+					coord.abort()
+					return false
+				}
+				if !equalScored(last, pr.TopK) {
+					last = pr.TopK
+					coord.merge(pr.TopK)
+				}
+				// Keep running while an unseen object could still reach
+				// the answer: τ_s below the global kth grade means every
+				// unseen object of this shard is strictly worse than k
+				// known candidates; a tie at the kth grade keeps the
+				// shard alive so the canonical (grade, ObjectID) order
+				// is fully resolved.
+				return !(float64(pr.Threshold) < coord.kth())
+			},
+		}
+		res, err := ta.Run(access.New(db, access.AllowAll), t, ks)
+		if err != nil {
+			errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
+			coord.abort()
+			return
+		}
+		results[s] = res
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fold each worker's final answer into the global heap (progress
+	// reports already delivered them, but the final fold keeps the merge
+	// independent of report timing) and sum the accounting.
+	stats := access.Stats{PerList: make([]int64, e.m)}
+	rounds := 0
+	for _, res := range results {
+		coord.merge(res.Items)
+		stats.Sorted += res.Stats.Sorted
+		stats.Random += res.Stats.Random
+		stats.WildGuesses += res.Stats.WildGuesses
+		stats.BoundRecomputes += res.Stats.BoundRecomputes
+		stats.MaxBuffered += res.Stats.MaxBuffered
+		for i, d := range res.Stats.PerList {
+			stats.PerList[i] += d
+		}
+		if res.Rounds > rounds {
+			rounds = res.Rounds
+		}
+	}
+	items := coord.top.Snapshot()
+	for i := range items {
+		items[i].Lower = items[i].Grade
+		items[i].Upper = items[i].Grade
+	}
+	return &core.Result{
+		Items:       items,
+		GradesExact: true,
+		Theta:       1,
+		Rounds:      rounds,
+		Stats:       stats,
+	}, nil
+}

@@ -2,7 +2,9 @@ package repro
 
 import (
 	"fmt"
-	"sync"
+
+	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // QuerySpec is one query in a batch.
@@ -24,36 +26,49 @@ type QueryOutcome struct {
 // ParallelQueries runs many independent queries over the same database
 // concurrently — the middleware serving several users at once. Each query
 // gets its own access cursors and accounting, so results and costs are
-// identical to running the queries sequentially; workers bounds the
-// concurrency (0 means one worker per query).
+// identical to running the queries sequentially. workers bounds the
+// concurrency: 0 (or any value of at least len(specs)) means one worker
+// per query; batch queries and intra-query sharding share the same worker
+// pool implementation (see internal/shard.ForEach).
+//
+// Specs are validated up front: a malformed spec — nil Agg, K < 1, K
+// exceeding the database size, or an aggregation arity that does not match
+// the database — has its error recorded in its outcome without ever
+// reaching the worker pool, so it cannot cost a worker goroutine or delay
+// the well-formed queries. Deeper validation (cost model, policy and
+// algorithm compatibility) still happens inside Query and is reported per
+// outcome the same way.
 func ParallelQueries(db *Database, specs []QuerySpec, workers int) []QueryOutcome {
 	out := make([]QueryOutcome, len(specs))
-	if len(specs) == 0 {
-		return out
-	}
-	if workers <= 0 || workers > len(specs) {
-		workers = len(specs)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				spec := specs[i]
-				res, err := Query(db, spec.Agg, spec.K, spec.Opts)
-				if err != nil {
-					err = fmt.Errorf("repro: query %d: %w", i, err)
-				}
-				out[i] = QueryOutcome{Spec: spec, Result: res, Err: err}
-			}
-		}()
-	}
+	valid := make([]int, 0, len(specs))
 	for i := range specs {
-		jobs <- i
+		out[i].Spec = specs[i]
+		if err := validateSpec(db, specs[i]); err != nil {
+			out[i].Err = fmt.Errorf("repro: query %d: %w", i, err)
+			continue
+		}
+		valid = append(valid, i)
 	}
-	close(jobs)
-	wg.Wait()
+	shard.ForEach(len(valid), workers, func(j int) {
+		i := valid[j]
+		spec := specs[i]
+		res, err := Query(db, spec.Agg, spec.K, spec.Opts)
+		if err != nil {
+			err = fmt.Errorf("repro: query %d: %w", i, err)
+		}
+		out[i].Result = res
+		out[i].Err = err
+	})
 	return out
+}
+
+// validateSpec performs the cheap structural checks that make a spec worth
+// dispatching to a worker at all. The checks are the same shared validator
+// every execution path uses, so the rejected set and error identity
+// (core.ErrBadQuery) cannot drift from what Query itself would enforce.
+func validateSpec(db *Database, spec QuerySpec) error {
+	if db == nil {
+		return fmt.Errorf("nil database")
+	}
+	return core.ValidateQueryShape(db.M(), db.N(), spec.Agg, spec.K)
 }

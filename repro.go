@@ -29,6 +29,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/shard"
 )
 
 // Re-exported data-model types.
@@ -119,9 +120,25 @@ type Options struct {
 	// Memoize lets TA cache grades (unbounded buffer, fewer repeat
 	// random accesses).
 	Memoize bool
-	// OnProgress, when non-nil, is invoked by TA after every sorted
-	// access; returning false stops early with the current guarantee.
+	// OnProgress, when non-nil, is invoked by TA and NRA after every
+	// sorted access (NRA: every sorted-access round); returning false
+	// stops early with the current view.
 	OnProgress func(ProgressView) bool
+	// Shards, when ≥ 1, partitions the database into that many
+	// object-disjoint shards and answers the query with one concurrent
+	// TA worker per shard, merged under a global threshold (the sharded
+	// engine; see NewSharded for a reusable handle that partitions only
+	// once). The answer is canonical — top k by (grade descending,
+	// ObjectID ascending) — and identical for every shard count,
+	// including Shards = 1. Zero (the default) keeps the sequential
+	// path, whose tie-breaking follows the chosen algorithm's stopping
+	// rule instead; negative values are rejected. Sharding requires the
+	// default TA algorithm with random access, no approximation, no
+	// sorted-access restriction and no OnProgress.
+	Shards int
+	// ShardWorkers bounds how many shard workers run concurrently when
+	// Shards > 1; 0 means one goroutine per shard.
+	ShardWorkers int
 }
 
 // TopK returns the top k objects of db under t using TA with unit costs.
@@ -134,6 +151,9 @@ func TopK(db *Database, t AggFunc, k int) (*Result, error) {
 // and the run's access accounting; Result.Cost(opts.Costs) is the paper's
 // middleware cost.
 func Query(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
+	if opts.Shards != 0 {
+		return querySharded(db, t, k, opts)
+	}
 	al, src, err := prepare(db, opts)
 	if err != nil {
 		return nil, err
@@ -141,17 +161,72 @@ func Query(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
 	return al.Run(src, t, k)
 }
 
+// Sharded is a database partitioned once into object-disjoint shards for
+// repeated sharded queries; it is immutable and safe for concurrent use.
+type Sharded = shard.Engine
+
+// ShardOptions configures one query on a Sharded handle.
+type ShardOptions = shard.Options
+
+// NewSharded partitions db into p object-disjoint shards and returns a
+// reusable handle for the sharded concurrent engine. Use this instead of
+// Options.Shards when issuing many queries: partitioning costs O(N·m) and
+// a handle pays it once.
+func NewSharded(db *Database, p int) (*Sharded, error) { return shard.New(db, p) }
+
+// querySharded routes Options.Shards ≥ 1 through the sharded engine after
+// rejecting option combinations the engine does not support. The checks
+// mirror the sequential path's, so an option that would be rejected there
+// never slips through just because sharding is on.
+func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
+	if opts.Algorithm != "" && opts.Algorithm != AlgoTA {
+		return nil, fmt.Errorf("repro: sharding supports only the TA algorithm, got %q", opts.Algorithm)
+	}
+	if opts.NoRandomAccess {
+		return nil, fmt.Errorf("repro: sharding requires random access; run NRA unsharded instead")
+	}
+	if opts.Theta != 0 && opts.Theta < 1 {
+		return nil, fmt.Errorf("repro: θ must be at least 1, got %g", opts.Theta)
+	}
+	if opts.Theta > 1 {
+		return nil, fmt.Errorf("repro: sharding computes exact answers; θ-approximation is not supported")
+	}
+	if len(opts.SortedLists) > 0 {
+		return nil, fmt.Errorf("repro: sharding does not support restricting sorted access (TAz)")
+	}
+	if opts.OnProgress != nil {
+		return nil, fmt.Errorf("repro: sharding does not support the OnProgress callback")
+	}
+	if _, err := normalizeCosts(opts.Costs); err != nil {
+		return nil, err
+	}
+	eng, err := shard.New(db, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Query(t, k, ShardOptions{Workers: opts.ShardWorkers, Memoize: opts.Memoize})
+}
+
+// normalizeCosts applies the zero-value default (unit costs) and rejects
+// invalid cost models; shared by the sequential and sharded paths.
+func normalizeCosts(c CostModel) (CostModel, error) {
+	if c.CS == 0 && c.CR == 0 {
+		c = access.UnitCosts
+	}
+	if c.CS <= 0 || c.CR < 0 {
+		return c, fmt.Errorf("repro: invalid cost model %+v", c)
+	}
+	return c, nil
+}
+
 // prepare resolves Options into an algorithm and a fresh accounting Source.
 func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error) {
 	if db == nil {
 		return nil, nil, fmt.Errorf("repro: nil database")
 	}
-	costs := opts.Costs
-	if costs.CS == 0 && costs.CR == 0 {
-		costs = access.UnitCosts
-	}
-	if costs.CS <= 0 || costs.CR < 0 {
-		return nil, nil, fmt.Errorf("repro: invalid cost model %+v", costs)
+	costs, err := normalizeCosts(opts.Costs)
+	if err != nil {
+		return nil, nil, err
 	}
 	policy := access.Policy{NoRandom: opts.NoRandomAccess}
 	if len(opts.SortedLists) > 0 {
@@ -178,7 +253,7 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 	case AlgoFA:
 		al = core.FA{}
 	case AlgoNRA:
-		al = &core.NRA{}
+		al = &core.NRA{OnProgress: opts.OnProgress}
 	case AlgoCA:
 		al = &core.CA{Costs: costs}
 	case AlgoNaive:

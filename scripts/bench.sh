@@ -1,0 +1,30 @@
+#!/bin/sh
+# Run the benchmark suite and record the results so the performance
+# trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [go-test-bench-regex]
+#
+# Writes BENCH_topk.json (one JSON object per line: benchmark name,
+# ns/op, custom metrics such as speedup-vs-P1) and the raw text output
+# BENCH_topk.txt in the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+pattern="${1:-.}"
+
+go test -run '^$' -bench "$pattern" -benchmem . | tee BENCH_topk.txt
+
+# Convert `BenchmarkName  N  123 ns/op  45 unit ...` lines to JSON.
+awk '
+/^Benchmark/ {
+    printf "{\"benchmark\":\"%s\",\"iterations\":%s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    print "}"
+}
+' BENCH_topk.txt > BENCH_topk.json
+
+echo "wrote BENCH_topk.txt and BENCH_topk.json" >&2
