@@ -352,6 +352,62 @@ func BenchmarkShardedTA(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedNRA — the sharded no-random-access engine vs the
+// single-shard NRA run, same protocol as BenchmarkShardedTA: partitioning
+// is untimed, each iteration answers one top-10 query with one resumable
+// NRA worker per shard (sorted access only), and speedup-vs-P1 divides the
+// best-of-three single-shard wall-clock by the sharded per-query time.
+func BenchmarkShardedNRA(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 50000, M: 3, Seed: 19})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	const k = 10
+	single, err := shard.New(db, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := shard.Options{NoRandomAccess: true}
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := shard.New(db, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			baseline := time.Duration(1<<63 - 1)
+			for r := 0; r < 3; r++ {
+				t0 := time.Now()
+				if _, err := single.Query(tf, k, opts); err != nil {
+					b.Fatal(err)
+				}
+				if d := time.Since(t0); d < baseline {
+					baseline = d
+				}
+			}
+			b.ResetTimer()
+			var sorted int64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(tf, k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Items) != k {
+					b.Fatalf("got %d items", len(res.Items))
+				}
+				if res.Stats.Random != 0 {
+					b.Fatalf("no-random-access mode made %d random accesses", res.Stats.Random)
+				}
+				sorted = res.Stats.Sorted
+			}
+			b.StopTimer()
+			per := b.Elapsed() / time.Duration(b.N)
+			b.ReportMetric(float64(baseline)/float64(per), "speedup-vs-P1")
+			b.ReportMetric(float64(sorted), "sorted-accesses")
+		})
+	}
+}
+
 // --- micro-benchmarks of the algorithms themselves ---
 
 func benchAlgo(b *testing.B, al core.Algorithm, pol access.Policy) {

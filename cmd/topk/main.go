@@ -9,6 +9,7 @@
 //	topk -data db.csv -agg sum -k 3 -algo NRA -no-random
 //	topk -data db.csv -agg avg -k 5 -theta 1.5
 //	topk -data db.csv -agg avg -k 10 -shards 4
+//	topk -data db.csv -agg avg -k 10 -shards 4 -no-random
 package main
 
 import (
@@ -28,12 +29,12 @@ func main() {
 		dataPath = flag.String("data", "", "CSV database file (required)")
 		aggName  = flag.String("agg", "min", "aggregation: min|max|sum|avg|product|median|geomean")
 		k        = flag.Int("k", 10, "number of answers")
-		algo     = flag.String("algo", "TA", "algorithm: TA|FA|NRA|CA|Naive|MaxTopK")
+		algo     = flag.String("algo", "", "algorithm: TA|FA|NRA|CA|Naive|MaxTopK (default TA, or NRA with -no-random)")
 		cs       = flag.Float64("cs", 1, "sorted access cost cS")
 		cr       = flag.Float64("cr", 1, "random access cost cR")
 		theta    = flag.Float64("theta", 0, "θ-approximation parameter (>1 enables TAθ)")
 		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
-		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (requires TA; 0 = no sharding)")
+		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (TA workers, or resumable NRA workers with -no-random; 0 = no sharding)")
 		workers  = flag.Int("shard-workers", 0, "max concurrent shard workers (0 = one per shard)")
 	)
 	flag.Parse()
@@ -67,8 +68,18 @@ func main() {
 		fatal(err)
 	}
 	engine := normalizeAlgo(*algo)
+	if engine == "" {
+		engine = string(repro.AlgoTA)
+		if *noRandom {
+			engine = string(repro.AlgoNRA)
+		}
+	}
 	if *shards >= 1 {
-		engine = fmt.Sprintf("sharded TA, P=%d", *shards)
+		worker := "TA"
+		if *noRandom || engine == string(repro.AlgoNRA) {
+			worker = "NRA"
+		}
+		engine = fmt.Sprintf("sharded %s, P=%d", worker, *shards)
 	}
 	fmt.Printf("top %d under %s (%s, N=%d, m=%d):\n", *k, *aggName, engine, db.N(), db.M())
 	for i, it := range res.Items {

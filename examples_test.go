@@ -1,0 +1,54 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs are the runnable example programs under examples/. CI used
+// to only compile them; this smoke test actually runs each one and asserts
+// it exits 0 with non-empty output, so a broken example fails the suite
+// instead of shipping silently.
+var exampleDirs = []string{
+	"approximate",
+	"broadcast",
+	"multimedia",
+	"quickstart",
+	"restaurants",
+	"websearch",
+}
+
+// TestExamplesRun executes every example via `go run` and checks exit
+// status and output. Examples are self-contained (no flags, no input
+// files) by construction, so a plain run must succeed.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run full queries; skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found in PATH: %v", err)
+	}
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./"+filepath.Join("examples", dir))
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", dir, err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Fatalf("go run ./examples/%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -301,14 +301,19 @@ func (tb *table) halted() bool {
 	return tb.maxBOutsideRescan() <= mk
 }
 
-// result assembles the Result from the final T_k.
+// result assembles the Result from the final T_k. GradesExact holds when
+// every answer interval is pinned (B = W, so Grade is the true overall
+// grade) — which can happen without every field being known, e.g. under
+// min once a known field ties the bound; the sharded NRA coordinator uses
+// the same interval-pinned definition, so sequential and sharded runs of
+// one query agree on exactness.
 func (tb *table) result(rounds int) *Result {
 	items := make([]Scored, len(tb.topk))
 	exact := true
 	for i, p := range tb.topk {
 		tb.refreshB(p)
 		items[i] = Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b}
-		if p.nKnown != tb.m {
+		if p.w != p.b {
 			exact = false
 		}
 	}

@@ -55,48 +55,20 @@ func (a *CA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		return nil, fmt.Errorf("%w: CA needs random access; use NRA when random access is impossible", ErrBadQuery)
 	}
 	h := a.phasePeriod()
-	tb := newTable(src, t, k, true)
+	c, err := NewNRACursor(src, t, k, LazyEngine)
+	if err != nil {
+		return nil, err
+	}
 	for {
-		tb.depth++
-		progress := false
-		for i := 0; i < m; i++ {
-			e, ok := src.SortedNext(i)
-			if !ok {
-				continue
-			}
-			progress = true
-			tb.observeSorted(i, e)
-		}
-		src.ReportBuffer(len(tb.parts))
-		if tb.depth%h == 0 {
-			a.randomPhase(src, tb)
-		}
-		if tb.halted() {
-			return tb.result(tb.depth), nil
-		}
-		if !progress {
+		if !c.Step() {
 			return nil, fmt.Errorf("core: CA exhausted all lists without satisfying the stopping rule")
 		}
-	}
-}
-
-// randomPhase performs one Step-2 phase: resolve all missing fields of the
-// viable seen object with the largest B, or do nothing if none exists.
-func (a *CA) randomPhase(src *access.Source, tb *table) {
-	target := tb.pickPhaseTarget()
-	if target == nil {
-		return // escape clause: no viable object with missing fields
-	}
-	obj := target.obj
-	for j := 0; j < tb.m; j++ {
-		if target.known&(uint64(1)<<uint(j)) != 0 {
-			continue
+		if c.Depth()%h == 0 {
+			c.randomPhase()
 		}
-		g, ok := src.Random(j, obj)
-		if !ok {
-			continue
+		if c.Halted() {
+			return c.Result(), nil
 		}
-		tb.learn(obj, j, g)
 	}
 }
 

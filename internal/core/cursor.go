@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+// NRACursor is a resumable, step-based handle on the sorted-access loop and
+// the W/B bound bookkeeping shared by NRA, CA and Intermittent (Section 8).
+// Each Step performs one parallel sorted-access round; Halted evaluates the
+// Section 8.1 stopping rule at the current depth; View exposes the interval
+// evidence the run has accumulated.
+//
+// The crucial property — the reason this exists as a cursor rather than a
+// closed Run loop — is that Halted is advisory, not terminal: a caller may
+// keep calling Step *past the local halting point*, which keeps performing
+// sorted access and therefore keeps tightening every [W, B] interval. The
+// sharded no-random-access engine depends on this: a shard's local top-k can
+// separate (local halt) while the global intervals across shards have not
+// yet separated at rank k, and the coordinator must then push the shard
+// deeper until they do. Once every list is exhausted Step becomes a no-op
+// returning false, and every bound is pinned (B = W for all seen objects).
+type NRACursor struct {
+	src *access.Source
+	t   agg.Func
+	k   int
+	tb  *table
+
+	exhausted   bool
+	encountered []model.ObjectID // objects seen during the latest Step round
+}
+
+// CursorView is the interval evidence a cursor has accumulated at its
+// current depth: the local top-k with [W, B] grade intervals (Propositions
+// 8.1/8.2), the threshold τ bounding any unseen object, and the largest B
+// among viable seen objects outside the top-k. Threshold and OutsideB
+// together are the cursor's "B-ceiling": no object outside TopK — seen or
+// unseen — can have an overall grade above max(Threshold, OutsideB).
+type CursorView struct {
+	// TopK is the current top-k (≤ k entries early on), ordered by
+	// (W descending, B descending, ObjectID ascending); each item carries
+	// Lower = W and Upper = B.
+	TopK []Scored
+	// Threshold is τ = t(x̄₁,…,x̄ₘ), the best possible grade of an unseen
+	// object; meaningful only while SeenAll is false.
+	Threshold model.Grade
+	// OutsideB is the largest fresh B among viable seen objects outside
+	// TopK, or -Inf when none remains.
+	OutsideB model.Grade
+	// SeenAll reports whether every object of the source has been seen
+	// under sorted access (Threshold then bounds nothing).
+	SeenAll bool
+	// Depth is the number of sorted-access rounds performed.
+	Depth int
+}
+
+// NewNRACursor validates the query and opens a cursor at depth 0. The
+// source must permit sorted access on every list (random access is never
+// used by Step; CA and Intermittent layer their random phases on top).
+func NewNRACursor(src *access.Source, t agg.Func, k int, engine Engine) (*NRACursor, error) {
+	if err := validate(src, t, k); err != nil {
+		return nil, err
+	}
+	for i := 0; i < src.M(); i++ {
+		if !src.CanSorted(i) {
+			return nil, fmt.Errorf("%w: bound-maintaining runs need sorted access to every list", ErrBadQuery)
+		}
+	}
+	return &NRACursor{src: src, t: t, k: k, tb: newTable(src, t, k, engine == LazyEngine)}, nil
+}
+
+// Step performs one parallel sorted-access round (one entry from every
+// non-exhausted list) and reports whether any access succeeded. It returns
+// false — without consuming anything — once every list is exhausted, at
+// which point all grades are known and every interval is pinned.
+func (c *NRACursor) Step() bool {
+	if c.exhausted {
+		return false
+	}
+	c.tb.depth++
+	c.encountered = c.encountered[:0]
+	progress := false
+	for i := 0; i < c.tb.m; i++ {
+		e, ok := c.src.SortedNext(i)
+		if !ok {
+			continue
+		}
+		progress = true
+		c.tb.observeSorted(i, e)
+		c.encountered = append(c.encountered, e.Object)
+	}
+	if !progress {
+		// Undo the depth bump: nothing was read, so bound freshness at
+		// the previous depth still holds and Depth stays meaningful.
+		c.tb.depth--
+		c.exhausted = true
+		return false
+	}
+	c.src.ReportBuffer(len(c.tb.parts))
+	return true
+}
+
+// Halted evaluates the Section 8.1 stopping rule at the current depth: at
+// least k objects seen and no viable object — seen or unseen — outside the
+// current top-k. A true result does not close the cursor; Step may still be
+// called to tighten intervals further.
+func (c *NRACursor) Halted() bool { return c.tb.halted() }
+
+// Exhausted reports whether every list has been fully consumed.
+func (c *NRACursor) Exhausted() bool { return c.exhausted }
+
+// Depth returns the number of completed sorted-access rounds.
+func (c *NRACursor) Depth() int { return c.tb.depth }
+
+// Threshold returns τ, the best possible grade of an unseen object.
+func (c *NRACursor) Threshold() model.Grade { return c.tb.threshold() }
+
+// View assembles the current interval evidence. Top-k B values are
+// refreshed to the current depth; OutsideB is the fresh maximum outside the
+// top-k (computing it retires lazily-discovered non-viable candidates,
+// which is sound: B only falls and M_k only rises).
+func (c *NRACursor) View() CursorView {
+	tb := c.tb
+	items := make([]Scored, len(tb.topk))
+	for i, p := range tb.topk {
+		tb.refreshB(p)
+		items[i] = Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b}
+	}
+	outside := model.Grade(math.Inf(-1))
+	if tb.lazy {
+		if cand := tb.drainTop(tb.mk()); cand != nil {
+			outside = cand.b
+		}
+	} else {
+		outside = tb.maxBOutsideRescan()
+	}
+	return CursorView{
+		TopK:      items,
+		Threshold: tb.threshold(),
+		OutsideB:  outside,
+		SeenAll:   len(tb.parts) >= c.src.N(),
+		Depth:     tb.depth,
+	}
+}
+
+// Result assembles a Result from the current top-k (normally called once
+// Halted reports true, or when a caller stops a run early).
+func (c *NRACursor) Result() *Result { return c.tb.result(c.tb.depth) }
+
+// encounteredObjects returns the objects seen during the latest Step round
+// in list order (Intermittent queues these for its delayed random phase).
+// The slice is reused by the next Step.
+func (c *NRACursor) encounteredObjects() []model.ObjectID { return c.encountered }
+
+// randomPhase performs one CA Step-2 phase (Section 8.2): resolve by random
+// access every missing field of the seen, viable object with the largest B,
+// or do nothing if no such object exists (footnote 15's escape clause).
+func (c *NRACursor) randomPhase() {
+	target := c.tb.pickPhaseTarget()
+	if target == nil {
+		return
+	}
+	c.resolveFields(target)
+}
+
+// resolve resolves all missing fields of a previously seen object by random
+// access (Intermittent's delayed TA accesses). It fails if the object has
+// never been seen under sorted access.
+func (c *NRACursor) resolve(obj model.ObjectID) error {
+	p := c.tb.parts[obj]
+	if p == nil {
+		return fmt.Errorf("core: queued object %d has no bookkeeping entry", obj)
+	}
+	c.resolveFields(p)
+	return nil
+}
+
+// resolveFields performs the random accesses for every missing field of p.
+func (c *NRACursor) resolveFields(p *partial) {
+	for j := 0; j < c.tb.m; j++ {
+		if p.known&(uint64(1)<<uint(j)) != 0 {
+			continue
+		}
+		g, ok := c.src.Random(j, p.obj)
+		if !ok {
+			continue
+		}
+		c.tb.learn(p.obj, j, g)
+	}
+}
+
+// fieldsKnown reports how many of obj's fields are known (0 if never seen).
+func (c *NRACursor) fieldsKnown(obj model.ObjectID) int {
+	if p := c.tb.parts[obj]; p != nil {
+		return p.nKnown
+	}
+	return 0
+}

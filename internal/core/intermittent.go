@@ -52,62 +52,47 @@ func (a *Intermittent) Run(src *access.Source, t agg.Func, k int) (*Result, erro
 		return nil, fmt.Errorf("%w: Intermittent needs random access", ErrBadQuery)
 	}
 	h := a.period()
-	tb := newTable(src, t, k, true)
+	c, err := NewNRACursor(src, t, k, LazyEngine)
+	if err != nil {
+		return nil, err
+	}
 	var queue []model.ObjectID // encounters in TA time order
 	for {
-		tb.depth++
-		progress := false
-		for i := 0; i < m; i++ {
-			e, ok := src.SortedNext(i)
-			if !ok {
-				continue
-			}
-			progress = true
-			tb.observeSorted(i, e)
-			queue = append(queue, e.Object)
+		if !c.Step() {
+			return nil, fmt.Errorf("core: Intermittent exhausted all lists without satisfying the stopping rule")
 		}
-		src.ReportBuffer(len(tb.parts))
-		if tb.depth%h == 0 {
-			halt, err := a.drainQueue(src, tb, &queue)
+		queue = append(queue, c.encounteredObjects()...)
+		if c.Depth()%h == 0 {
+			halt, err := a.drainQueue(c, &queue)
 			if err != nil {
 				return nil, err
 			}
 			if halt {
-				return tb.result(tb.depth), nil
+				return c.Result(), nil
 			}
 		}
-		if tb.halted() {
-			return tb.result(tb.depth), nil
-		}
-		if !progress {
-			return nil, fmt.Errorf("core: Intermittent exhausted all lists without satisfying the stopping rule")
+		if c.Halted() {
+			return c.Result(), nil
 		}
 	}
 }
 
 // drainQueue performs the delayed TA random accesses in encounter order,
 // checking the stopping rule after each resolved object.
-func (a *Intermittent) drainQueue(src *access.Source, tb *table, queue *[]model.ObjectID) (bool, error) {
+func (a *Intermittent) drainQueue(c *NRACursor, queue *[]model.ObjectID) (bool, error) {
 	q := *queue
 	for len(q) > 0 {
 		obj := q[0]
 		q = q[1:]
-		p := tb.parts[obj]
-		if p == nil {
+		known := c.fieldsKnown(obj)
+		if known == 0 {
 			return false, fmt.Errorf("core: queued object %d has no bookkeeping entry", obj)
 		}
-		if p.nKnown < tb.m {
-			for j := 0; j < tb.m; j++ {
-				if p.known&(uint64(1)<<uint(j)) != 0 {
-					continue
-				}
-				g, ok := src.Random(j, obj)
-				if !ok {
-					continue
-				}
-				tb.learn(obj, j, g)
+		if known < c.tb.m {
+			if err := c.resolve(obj); err != nil {
+				return false, err
 			}
-			if tb.halted() {
+			if c.Halted() {
 				*queue = q
 				return true, nil
 			}

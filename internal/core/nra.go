@@ -54,56 +54,50 @@ type NRA struct {
 // Name implements Algorithm.
 func (a *NRA) Name() string { return "NRA" }
 
-// Run implements Algorithm.
+// Run implements Algorithm. It is a thin loop over NRACursor: step, check
+// the stopping rule, fire the progress hook. Callers that need to push a
+// run past its halting point (the sharded no-random-access engine) hold a
+// cursor directly instead.
 func (a *NRA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	if err := validate(src, t, k); err != nil {
 		return nil, err
 	}
-	m := src.M()
-	for i := 0; i < m; i++ {
+	for i := 0; i < src.M(); i++ {
 		if !src.CanSorted(i) {
 			return nil, fmt.Errorf("%w: NRA needs sorted access to every list", ErrBadQuery)
 		}
 	}
-	tb := newTable(src, t, k, a.Engine == LazyEngine)
+	c, err := NewNRACursor(src, t, k, a.Engine)
+	if err != nil {
+		return nil, err
+	}
 	for {
-		tb.depth++
-		progress := false
-		for i := 0; i < m; i++ {
-			e, ok := src.SortedNext(i)
-			if !ok {
-				continue
-			}
-			progress = true
-			tb.observeSorted(i, e)
+		if !c.Step() {
+			// All lists exhausted: every grade of every object is
+			// known, so T_k is exact and halted() must have fired;
+			// this guards against infinite loops on malformed
+			// inputs.
+			return nil, fmt.Errorf("core: NRA exhausted all lists without satisfying the stopping rule")
 		}
-		src.ReportBuffer(len(tb.parts))
-		if tb.halted() {
-			return tb.result(tb.depth), nil
+		if c.Halted() {
+			return c.Result(), nil
 		}
 		if a.OnProgress != nil {
-			res := tb.result(tb.depth)
+			res := c.Result()
 			// The view is not yet certified: halting has not fired, so
 			// a stopped run carries no approximation guarantee.
 			res.Theta = math.Inf(1)
 			sorted, random := src.Counts()
 			if !a.OnProgress(Progress{
 				TopK:      res.Items,
-				Threshold: tb.threshold(),
+				Threshold: c.Threshold(),
 				Guarantee: res.Theta,
-				Depth:     tb.depth,
+				Depth:     c.Depth(),
 				Sorted:    sorted,
 				Random:    random,
 			}) {
 				return res, nil
 			}
-		}
-		if !progress {
-			// All lists exhausted: every grade of every object is
-			// known, so T_k is exact and halted() must have fired;
-			// this guards against infinite loops on malformed
-			// inputs.
-			return nil, fmt.Errorf("core: NRA exhausted all lists without satisfying the stopping rule")
 		}
 	}
 }

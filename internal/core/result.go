@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/access"
+	"repro/internal/agg"
 	"repro/internal/model"
 )
 
@@ -82,6 +83,21 @@ func (r *Result) String() string {
 	return fmt.Sprintf("top%d{%s} s=%d r=%d", len(r.Items), b.String(), r.Stats.Sorted, r.Stats.Random)
 }
 
+// TrueGradeMultiset recomputes the answer items' true overall grades from
+// the full database (the ground-truth view algorithms never get), sorted
+// descending. Tests and experiments compare answers through this when ties
+// make object sets ambiguous (the paper breaks ties arbitrarily): two
+// correct top-k answers must have equal true-grade multisets even when
+// their object sets differ.
+func TrueGradeMultiset(db *model.Database, t agg.Func, items []Scored) []model.Grade {
+	out := make([]model.Grade, len(items))
+	for i, it := range items {
+		out[i] = t.Apply(db.Grades(it.Object))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
 // sortScoredDesc orders items by grade descending, breaking ties by
 // ascending object id for determinism.
 func sortScoredDesc(items []Scored) {
@@ -137,6 +153,9 @@ func (h *TopKBuffer) Offer(s Scored) {
 
 // Full reports whether k items are held.
 func (h *TopKBuffer) Full() bool { return len(h.items) == h.k }
+
+// Len returns the number of items currently held (≤ k).
+func (h *TopKBuffer) Len() int { return len(h.items) }
 
 // Kth returns the grade of the worst retained item; call only when full.
 func (h *TopKBuffer) Kth() model.Grade { return h.items[len(h.items)-1].Grade }

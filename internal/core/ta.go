@@ -198,7 +198,15 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 			}
 		}
 		heap.Offer(Scored{Object: e.Object, Grade: overall})
-		src.ReportBuffer(k + len(memo))
+		// Report the objects actually retained, not the heap's capacity:
+		// the heap holds ≤ k items (fewer while filling, or forever when
+		// k > N), and under memoization every heap member is also in the
+		// memo, so the memo size alone counts each retained object once.
+		retained := heap.Len()
+		if memo != nil {
+			retained = len(memo)
+		}
+		src.ReportBuffer(retained)
 
 		tau := threshold()
 		if a.OnProgress != nil {

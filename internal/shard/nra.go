@@ -1,0 +1,351 @@
+// Sharded NRA: the no-random-access mode of the engine (Section 8.1
+// distributed). One resumable core.NRACursor runs per shard, performing
+// sorted access only and maintaining [W, B] grade intervals; a coordinator
+// merges every shard's published intervals into a global candidate table
+// and decides, shard by shard, whether the shard's evidence can still
+// change the global answer.
+//
+// The decision mirrors the paper's stopping rule, distributed. Let M_k be
+// the k-th largest W in the global table. Shard s's B-ceiling is the
+// largest upper bound any of its objects outside the global top-k could
+// still have: the maximum of
+//
+//   - τ_s, the shard's unseen-object bound (B of any object never seen
+//     there; dropped once the shard has seen or exhausted everything),
+//   - the shard's largest B among viable seen objects outside its local
+//     top-k, and
+//   - the largest published B among the shard's table entries currently
+//     outside the global top-k (candidates once published, later evicted
+//     by other shards' W values rising).
+//
+// A shard whose ceiling is ≤ M_k is paused: none of its objects outside
+// the global top-k — seen or unseen — can beat k known candidates, W only
+// rises and B only falls, so the condition is permanent *unless* one of
+// the shard's own table entries is later evicted from the global top-k
+// with a B still above M_k. In that case the coordinator resumes the
+// shard — pushing its cursor past its local halting point, the capability
+// NRA.Run alone does not offer — until the global intervals separate at
+// rank k. Global halt is exactly "every shard paused or exhausted", at
+// which point the table's top k by W is a valid top-k object set: every
+// member's grade is ≥ its W ≥ M_k, and everything else is ≤ its ceiling
+// ≤ M_k.
+package shard
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// nraCand is one row of the coordinator's global candidate table: the
+// latest published [W, B] interval for an object and the shard it lives in.
+type nraCand struct {
+	obj   model.ObjectID
+	w, b  model.Grade
+	shard int
+	inTop bool // member of the global top-k at the last recompute
+}
+
+// nraCoordinator is the shared state behind one sharded NRA query. All
+// fields are guarded by mu; workers call publish after every sorted-access
+// round and obey the returned directive.
+type nraCoordinator struct {
+	mu sync.Mutex
+	k  int
+
+	cands map[model.ObjectID]*nraCand
+	order []*nraCand // table entries, re-sorted on every recompute
+
+	ks        []int         // per-shard local k (min(k, shard size))
+	threshold []model.Grade // per-shard τ_s, +Inf before the first publish
+	outsideB  []model.Grade // per-shard max viable B outside the local top-k
+	seenAll   []bool        // shard has seen every one of its objects
+	exhausted []bool        // shard has consumed every list entirely
+	ceilings  []model.Grade // per-shard B-ceiling at the last recompute
+	mk        model.Grade   // global k-th largest W, -Inf while table < k
+
+	peak    int // peak table size — the coordinator's buffer accounting
+	stopped bool
+}
+
+func newNRACoordinator(p, k int, ks []int) *nraCoordinator {
+	c := &nraCoordinator{
+		k:         k,
+		cands:     make(map[model.ObjectID]*nraCand),
+		ks:        ks,
+		threshold: make([]model.Grade, p),
+		outsideB:  make([]model.Grade, p),
+		seenAll:   make([]bool, p),
+		exhausted: make([]bool, p),
+		ceilings:  make([]model.Grade, p),
+		mk:        model.Grade(math.Inf(-1)),
+	}
+	for s := 0; s < p; s++ {
+		c.threshold[s] = model.Grade(math.Inf(1))
+		c.outsideB[s] = model.Grade(math.Inf(1))
+		c.ceilings[s] = model.Grade(math.Inf(1))
+	}
+	return c
+}
+
+// merge folds one shard's view into the table. Per-object W never falls and
+// B never rises across publishes, so stale table rows stay sound bounds;
+// rows the shard no longer ranks in its local top-k are capped at the
+// shard-wide bound max(outsideB, local M_k), which every outside object's
+// fresh B provably respects (drainTop retires at ≤ local M_k; survivors
+// are ≤ outsideB). Must be called with mu held.
+func (c *nraCoordinator) merge(s int, v core.CursorView) {
+	published := make(map[model.ObjectID]bool, len(v.TopK))
+	for _, it := range v.TopK {
+		published[it.Object] = true
+		if p := c.cands[it.Object]; p != nil {
+			if it.Lower > p.w {
+				p.w = it.Lower
+			}
+			if it.Upper < p.b {
+				p.b = it.Upper
+			}
+			continue
+		}
+		p := &nraCand{obj: it.Object, w: it.Lower, b: it.Upper, shard: s}
+		c.cands[it.Object] = p
+		c.order = append(c.order, p)
+	}
+	if len(c.cands) > c.peak {
+		c.peak = len(c.cands)
+	}
+	localMk := model.Grade(math.Inf(-1))
+	if len(v.TopK) == c.ks[s] && len(v.TopK) > 0 {
+		localMk = v.TopK[len(v.TopK)-1].Lower
+	}
+	bound := v.OutsideB
+	if localMk > bound {
+		bound = localMk
+	}
+	for _, p := range c.order {
+		if p.shard == s && !published[p.obj] && p.b > bound {
+			p.b = bound
+		}
+	}
+	if v.Threshold < c.threshold[s] {
+		c.threshold[s] = v.Threshold
+	}
+	c.outsideB[s] = v.OutsideB
+	c.seenAll[s] = c.seenAll[s] || v.SeenAll
+}
+
+// recompute re-sorts the table, refreshes global top-k membership and M_k,
+// and recomputes every shard's B-ceiling. Must be called with mu held.
+func (c *nraCoordinator) recompute() {
+	sort.Slice(c.order, func(i, j int) bool {
+		a, b := c.order[i], c.order[j]
+		if a.w != b.w {
+			return a.w > b.w
+		}
+		if a.b != b.b {
+			return a.b > b.b
+		}
+		return a.obj < b.obj
+	})
+	c.mk = model.Grade(math.Inf(-1))
+	if len(c.order) >= c.k {
+		c.mk = c.order[c.k-1].w
+	}
+	for s := range c.ceilings {
+		c.ceilings[s] = model.Grade(math.Inf(-1))
+		if !c.exhausted[s] && !c.seenAll[s] && c.threshold[s] > c.ceilings[s] {
+			c.ceilings[s] = c.threshold[s]
+		}
+		if c.outsideB[s] > c.ceilings[s] {
+			c.ceilings[s] = c.outsideB[s]
+		}
+	}
+	for i, p := range c.order {
+		p.inTop = i < c.k
+		if !p.inTop && p.b > c.ceilings[p.shard] {
+			c.ceilings[p.shard] = p.b
+		}
+	}
+	// Prune rows strictly settled below M_k: an outside row with B < M_k
+	// has W ≤ B < M_k with W frozen until its shard republishes it, so it
+	// can never re-enter the top-k or raise a ceiling; dropping it keeps
+	// the table near k + active-churn instead of growing with depth. (A
+	// republished object is simply re-inserted.) Kept strict so tied rows
+	// survive for the canonical (W, B, id) ordering.
+	kept := c.order[:0]
+	for _, p := range c.order {
+		if p.inTop || p.b >= c.mk {
+			kept = append(kept, p)
+		} else {
+			delete(c.cands, p.obj)
+		}
+	}
+	for i := len(kept); i < len(c.order); i++ {
+		c.order[i] = nil
+	}
+	c.order = kept
+}
+
+// publish folds shard s's view in and reports whether the shard should keep
+// stepping: true while its B-ceiling still exceeds the global M_k.
+func (c *nraCoordinator) publish(s int, v core.CursorView) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.merge(s, v)
+	c.recompute()
+	return c.ceilings[s] > c.mk
+}
+
+// markExhausted records a shard that consumed every list (its intervals are
+// all pinned; its final view was already published).
+func (c *nraCoordinator) markExhausted(s int) {
+	c.mu.Lock()
+	c.exhausted[s] = true
+	c.recompute()
+	c.mu.Unlock()
+}
+
+// unresolved returns the shards whose B-ceiling still exceeds M_k and that
+// can still be stepped — the shards the coordinator must resume, typically
+// because one of their candidates was evicted from the global top-k after
+// they paused.
+func (c *nraCoordinator) unresolved() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for s := range c.ceilings {
+		if !c.exhausted[s] && c.ceilings[s] > c.mk {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *nraCoordinator) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+}
+
+func (c *nraCoordinator) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+// topK returns the final global answer: the table's best k by
+// (W descending, B descending, ObjectID ascending), with [Lower, Upper]
+// carrying each survivor's final interval.
+func (c *nraCoordinator) topK() (items []core.Scored, exact bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recompute()
+	n := c.k
+	if len(c.order) < n {
+		n = len(c.order)
+	}
+	items = make([]core.Scored, n)
+	exact = true
+	for i := 0; i < n; i++ {
+		p := c.order[i]
+		items[i] = core.Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b}
+		if p.w != p.b {
+			exact = false
+		}
+	}
+	return items, exact
+}
+
+// queryNRA answers a top-k query with one resumable NRA worker per shard —
+// sorted access only, so Result.Stats.Random is always zero. The returned
+// items carry [W, B] grade intervals like sequential NRA; GradesExact
+// reports whether every answer interval happens to be pinned. Stats sum the
+// per-worker accounting plus the coordinator's peak candidate-table size
+// (the NRA-mode analogue of the TA coordinator's k-item heap), so sharded
+// and sequential MaxBuffered are comparable.
+func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) (*core.Result, error) {
+	p := len(e.shards)
+	ks := make([]int, p)
+	srcs := make([]*access.Source, p)
+	cursors := make([]*core.NRACursor, p)
+	for s, db := range e.shards {
+		ks[s] = k
+		if n := db.N(); ks[s] > n {
+			ks[s] = n // a shard smaller than k contributes all its objects
+		}
+		srcs[s] = access.New(db, access.Policy{NoRandom: true})
+		cur, err := core.NewNRACursor(srcs[s], t, ks[s], core.LazyEngine)
+		if err != nil {
+			return nil, err
+		}
+		cursors[s] = cur
+	}
+	coord := newNRACoordinator(p, k, ks)
+	// Wave loop: run every pending shard until it pauses or exhausts, then
+	// ask the coordinator which paused shards must be resumed. Cursors
+	// persist across waves, so a resumed shard continues exactly where it
+	// stopped — including past its local halting point.
+	pending := make([]int, p)
+	for s := range pending {
+		pending[s] = s
+	}
+	for len(pending) > 0 {
+		batch := pending
+		ForEach(len(batch), opts.Workers, func(i int) {
+			s := batch[i]
+			cur := cursors[s]
+			for {
+				if coord.isStopped() {
+					return
+				}
+				if ctx.Err() != nil {
+					coord.stop()
+					return
+				}
+				if !cur.Step() {
+					coord.publish(s, cur.View())
+					coord.markExhausted(s)
+					return
+				}
+				if !coord.publish(s, cur.View()) {
+					return
+				}
+			}
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pending = coord.unresolved()
+	}
+	items, exact := coord.topK()
+	stats := access.Stats{PerList: make([]int64, e.m)}
+	rounds := 0
+	for s := range srcs {
+		st := srcs[s].Stats()
+		stats.Sorted += st.Sorted
+		stats.Random += st.Random
+		stats.WildGuesses += st.WildGuesses
+		stats.BoundRecomputes += st.BoundRecomputes
+		stats.MaxBuffered += st.MaxBuffered
+		for i, d := range st.PerList {
+			stats.PerList[i] += d
+		}
+		if d := cursors[s].Depth(); d > rounds {
+			rounds = d
+		}
+	}
+	stats.MaxBuffered += coord.peak
+	return &core.Result{
+		Items:       items,
+		GradesExact: exact,
+		Theta:       1,
+		Rounds:      rounds,
+		Stats:       stats,
+	}, nil
+}

@@ -41,8 +41,16 @@ type Options struct {
 	// 0 means one goroutine per shard.
 	Workers int
 	// Memoize lets each shard's TA worker cache computed grades
-	// (unbounded per-shard buffer, fewer repeat random accesses).
+	// (unbounded per-shard buffer, fewer repeat random accesses). It has
+	// no effect in the no-random-access mode, which performs no random
+	// accesses to cache.
 	Memoize bool
+	// NoRandomAccess answers the query with one resumable NRA worker per
+	// shard instead of TA workers — sorted access only, the search-engine
+	// scenario of Section 8.1 (see nra.go). The answer is the exact top-k
+	// *object set* with [W, B] grade intervals; Result.Stats.Random is
+	// always zero.
+	NoRandomAccess bool
 }
 
 // Engine is a database partitioned for sharded querying. Partitioning
@@ -169,14 +177,24 @@ func equalScored(a, b []core.Scored) bool {
 
 // QueryContext runs a top-k query across all shards concurrently and
 // merges the per-shard answers into the exact global top k. The returned
-// Result is canonical and identical for every shard count; its Stats are
-// the summed accounting of all shard workers (PerList sums align by
-// attribute index, MaxBuffered is the summed per-worker peak), and Rounds
-// is the deepest worker's round count. Cancelling ctx stops all workers
-// at their next sorted access and returns ctx's error.
+// Result is canonical and identical for every shard count; Rounds is the
+// deepest worker's round count. Cancelling ctx stops all workers at their
+// next sorted access and returns ctx's error.
+//
+// Stats are the summed accounting of all shard workers: PerList sums align
+// by attribute index, and MaxBuffered is the sum of every worker's peak
+// plus the coordinator's own buffer (the k-item global top-k heap here; the
+// peak candidate-table size in the NRA mode). Workers peak at different
+// times, so the sum is an upper bound on — not necessarily equal to — the
+// true peak of simultaneously retained objects; it is the number to compare
+// against a sequential run's MaxBuffered in the buffer ablations, since it
+// counts exactly the objects the whole engine was sized to hold.
 func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Options) (*core.Result, error) {
 	if err := core.ValidateQueryShape(e.m, e.n, t, k); err != nil {
 		return nil, err
+	}
+	if opts.NoRandomAccess {
+		return e.queryNRA(ctx, t, k, opts)
 	}
 	p := len(e.shards)
 	coord := newCoordinator(k)
@@ -248,6 +266,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 			rounds = res.Rounds
 		}
 	}
+	// The coordinator's global TopKBuffer holds k items of its own on top
+	// of whatever the workers buffered.
+	stats.MaxBuffered += k
 	items := coord.top.Snapshot()
 	for i := range items {
 		items[i].Lower = items[i].Grade

@@ -59,6 +59,11 @@ type (
 // NewBuilder starts a Database builder for m attributes.
 func NewBuilder(m int) *Builder { return model.NewBuilder(m) }
 
+// ErrBadQuery is the identity every invalid query or unsupported option
+// combination wraps, on the sequential and sharded paths alike: check with
+// errors.Is(err, repro.ErrBadQuery).
+var ErrBadQuery = core.ErrBadQuery
+
 // Re-exported aggregation constructors.
 var (
 	// Min is fuzzy conjunction (strict, strictly monotone).
@@ -112,7 +117,10 @@ type Options struct {
 	// Theta > 1 asks TA for a θ-approximation (Section 6.2).
 	Theta float64
 	// NoRandomAccess forbids random access (search-engine scenario);
-	// with the default algorithm this selects NRA.
+	// with the default algorithm this selects NRA. It composes with
+	// Shards: the query then runs the sharded no-random-access mode
+	// (one resumable NRA worker per shard) and performs zero random
+	// accesses.
 	NoRandomAccess bool
 	// SortedLists, when non-empty, restricts sorted access to these
 	// list indices (Section 7's Z); TA then behaves as TAz.
@@ -126,15 +134,24 @@ type Options struct {
 	OnProgress func(ProgressView) bool
 	// Shards, when ≥ 1, partitions the database into that many
 	// object-disjoint shards and answers the query with one concurrent
-	// TA worker per shard, merged under a global threshold (the sharded
-	// engine; see NewSharded for a reusable handle that partitions only
-	// once). The answer is canonical — top k by (grade descending,
-	// ObjectID ascending) — and identical for every shard count,
-	// including Shards = 1. Zero (the default) keeps the sequential
-	// path, whose tie-breaking follows the chosen algorithm's stopping
-	// rule instead; negative values are rejected. Sharding requires the
-	// default TA algorithm with random access, no approximation, no
-	// sorted-access restriction and no OnProgress.
+	// worker per shard (the sharded engine; see NewSharded for a
+	// reusable handle that partitions only once). Zero (the default)
+	// keeps the sequential path; negative values are rejected with
+	// ErrBadQuery.
+	//
+	// With random access available (the default), workers run TA and the
+	// answer is canonical — top k by (grade descending, ObjectID
+	// ascending) — and identical for every shard count, including
+	// Shards = 1. With NoRandomAccess set (or Algorithm AlgoNRA), each
+	// shard runs a resumable NRA worker instead: sorted access only,
+	// with the coordinator merging per-shard [W, B] grade intervals and
+	// pushing workers past their local halting points until the global
+	// intervals separate at rank k. That mode returns the exact top-k
+	// *object set* with grade intervals, exactly like sequential NRA.
+	//
+	// Sharding supports the TA and NRA algorithms; θ-approximation,
+	// sorted-access restriction (TAz) and OnProgress are rejected with
+	// ErrBadQuery.
 	Shards int
 	// ShardWorkers bounds how many shard workers run concurrently when
 	// Shards > 1; 0 means one goroutine per shard.
@@ -174,28 +191,36 @@ type ShardOptions = shard.Options
 // a handle pays it once.
 func NewSharded(db *Database, p int) (*Sharded, error) { return shard.New(db, p) }
 
-// querySharded routes Options.Shards ≥ 1 through the sharded engine after
+// querySharded routes Options.Shards != 0 through the sharded engine after
 // rejecting option combinations the engine does not support. The checks
 // mirror the sequential path's, so an option that would be rejected there
-// never slips through just because sharding is on.
+// never slips through just because sharding is on — and every rejection
+// wraps ErrBadQuery, the same identity the internal layers use, so callers
+// branch on errors.Is instead of error text.
 func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
-	if opts.Algorithm != "" && opts.Algorithm != AlgoTA {
-		return nil, fmt.Errorf("repro: sharding supports only the TA algorithm, got %q", opts.Algorithm)
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("%w: Shards must be non-negative, got %d", ErrBadQuery, opts.Shards)
 	}
-	if opts.NoRandomAccess {
-		return nil, fmt.Errorf("repro: sharding requires random access; run NRA unsharded instead")
+	switch opts.Algorithm {
+	case "", AlgoTA, AlgoNRA:
+	default:
+		return nil, fmt.Errorf("%w: sharding supports only the TA and NRA algorithms, got %q", ErrBadQuery, opts.Algorithm)
+	}
+	noRandom := opts.NoRandomAccess || opts.Algorithm == AlgoNRA
+	if opts.Algorithm == AlgoTA && opts.NoRandomAccess {
+		return nil, fmt.Errorf("%w: TA needs random access; drop NoRandomAccess or use AlgoNRA for sharded sorted-only queries", ErrBadQuery)
 	}
 	if opts.Theta != 0 && opts.Theta < 1 {
-		return nil, fmt.Errorf("repro: θ must be at least 1, got %g", opts.Theta)
+		return nil, fmt.Errorf("%w: θ must be at least 1, got %g", ErrBadQuery, opts.Theta)
 	}
 	if opts.Theta > 1 {
-		return nil, fmt.Errorf("repro: sharding computes exact answers; θ-approximation is not supported")
+		return nil, fmt.Errorf("%w: sharding computes exact answers; θ-approximation is not supported", ErrBadQuery)
 	}
 	if len(opts.SortedLists) > 0 {
-		return nil, fmt.Errorf("repro: sharding does not support restricting sorted access (TAz)")
+		return nil, fmt.Errorf("%w: sharding does not support restricting sorted access (TAz)", ErrBadQuery)
 	}
 	if opts.OnProgress != nil {
-		return nil, fmt.Errorf("repro: sharding does not support the OnProgress callback")
+		return nil, fmt.Errorf("%w: sharding does not support the OnProgress callback", ErrBadQuery)
 	}
 	if _, err := normalizeCosts(opts.Costs); err != nil {
 		return nil, err
@@ -204,7 +229,11 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Query(t, k, ShardOptions{Workers: opts.ShardWorkers, Memoize: opts.Memoize})
+	return eng.Query(t, k, ShardOptions{
+		Workers:        opts.ShardWorkers,
+		Memoize:        opts.Memoize,
+		NoRandomAccess: noRandom,
+	})
 }
 
 // normalizeCosts applies the zero-value default (unit costs) and rejects
@@ -214,7 +243,7 @@ func normalizeCosts(c CostModel) (CostModel, error) {
 		c = access.UnitCosts
 	}
 	if c.CS <= 0 || c.CR < 0 {
-		return c, fmt.Errorf("repro: invalid cost model %+v", c)
+		return c, fmt.Errorf("%w: invalid cost model %+v", ErrBadQuery, c)
 	}
 	return c, nil
 }

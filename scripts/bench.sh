@@ -6,13 +6,34 @@
 #
 # Writes BENCH_topk.json (one JSON object per line: benchmark name,
 # ns/op, custom metrics such as speedup-vs-P1) and the raw text output
-# BENCH_topk.txt in the repository root.
+# BENCH_topk.txt in the repository root. The default pattern covers every
+# benchmark, and the run fails if either sharded-engine benchmark
+# (BenchmarkShardedTA, BenchmarkShardedNRA) is missing from the output,
+# so the perf trajectory always tracks both sharded modes.
 set -eu
 
 cd "$(dirname "$0")/.."
 pattern="${1:-.}"
 
-go test -run '^$' -bench "$pattern" -benchmem . | tee BENCH_topk.txt
+# Capture to the file first and check go test's own exit status: in a
+# `go test | tee` pipeline the shell reports tee's status, so a failing
+# benchmark would otherwise ship a truncated BENCH_topk.json with exit 0.
+go test -run '^$' -bench "$pattern" -benchmem . > BENCH_topk.txt 2>&1 || {
+    status=$?
+    cat BENCH_topk.txt
+    echo "bench.sh: go test -bench failed with status $status" >&2
+    exit "$status"
+}
+cat BENCH_topk.txt
+
+if [ "$pattern" = "." ]; then
+    for required in BenchmarkShardedTA BenchmarkShardedNRA; do
+        if ! grep -q "^$required" BENCH_topk.txt; then
+            echo "bench.sh: expected $required in the benchmark output" >&2
+            exit 1
+        fi
+    done
+fi
 
 # Convert `BenchmarkName  N  123 ns/op  45 unit ...` lines to JSON.
 awk '

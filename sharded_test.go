@@ -1,10 +1,12 @@
 package repro_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -95,24 +97,30 @@ func TestNewShardedHandleReuse(t *testing.T) {
 }
 
 // TestShardedOptionCompatibility checks that option combinations the
-// sharded engine cannot honor are rejected up front.
+// sharded engine cannot honor are rejected up front — every rejection
+// carrying the repro.ErrBadQuery identity — while TA and NRA sharding
+// (including NoRandomAccess composed with Shards) are accepted.
 func TestShardedOptionCompatibility(t *testing.T) {
 	db := sampleDB(t)
 	bad := []repro.Options{
-		{Shards: 2, Algorithm: repro.AlgoNRA},
 		{Shards: 2, Algorithm: repro.AlgoFA},
-		{Shards: 2, NoRandomAccess: true},
+		{Shards: 2, Algorithm: repro.AlgoCA},
+		{Shards: 2, Algorithm: repro.AlgoTA, NoRandomAccess: true}, // TA cannot run without random access
 		{Shards: 2, Theta: 1.5},
 		{Shards: 2, Theta: 0.5}, // invalid θ must not slip through sharded
 		{Shards: 2, SortedLists: []int{0}},
 		{Shards: 2, OnProgress: func(repro.ProgressView) bool { return true }},
 		{Shards: 2, Costs: repro.CostModel{CS: -1, CR: 1}},
-		{Shards: 1, Algorithm: repro.AlgoNRA}, // Shards ≥ 1 is always the engine
-		{Shards: -3},                          // negative shard counts are rejected
+		{Shards: -3}, // negative shard counts are rejected
 	}
 	for i, opts := range bad {
-		if _, err := repro.Query(db, repro.Min(3), 1, opts); err == nil {
+		_, err := repro.Query(db, repro.Min(3), 1, opts)
+		if err == nil {
 			t.Errorf("options %d (%+v) accepted", i, opts)
+			continue
+		}
+		if !errors.Is(err, repro.ErrBadQuery) {
+			t.Errorf("options %d rejection %q does not wrap repro.ErrBadQuery", i, err)
 		}
 	}
 	// Shards = 0 is the plain sequential path, whatever the options.
@@ -131,6 +139,70 @@ func TestShardedOptionCompatibility(t *testing.T) {
 	}
 	if _, err := repro.Query(db, repro.Avg(3), 2, repro.Options{Shards: 1}); err != nil {
 		t.Fatal(err)
+	}
+	// NoRandomAccess (and the explicit AlgoNRA spelling) now composes
+	// with Shards instead of erroring, and really does no random access.
+	for _, opts := range []repro.Options{
+		{Shards: 2, NoRandomAccess: true},
+		{Shards: 2, Algorithm: repro.AlgoNRA},
+		{Shards: 1, Algorithm: repro.AlgoNRA, NoRandomAccess: true},
+	} {
+		res, err := repro.Query(db, repro.Avg(3), 2, opts)
+		if err != nil {
+			t.Fatalf("NRA sharding options %+v rejected: %v", opts, err)
+		}
+		if res.Stats.Random != 0 {
+			t.Fatalf("NRA sharding options %+v made %d random accesses", opts, res.Stats.Random)
+		}
+	}
+}
+
+// TestShardedNRAQueryMatchesUnsharded is the public-API equality check for
+// the no-random-access sharded mode: on every workload — including the
+// tie-heavy Zipf one — the answer's true-grade multiset must match
+// unsharded NRA's for every shard count, the run must do zero random
+// accesses, and on continuous workloads (unique top-k) the object sets
+// must be identical.
+func TestShardedNRAQueryMatchesUnsharded(t *testing.T) {
+	for name, db := range shardedWorkloads(t) {
+		for _, tf := range []repro.AggFunc{repro.Min(3), repro.Sum(3)} {
+			seq, err := repro.Query(db, tf, 10, repro.Options{NoRandomAccess: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.TrueGradeMultiset(db, tf, seq.Items)
+			for _, shards := range []int{1, 2, 4, 8} {
+				res, err := repro.Query(db, tf, 10, repro.Options{
+					NoRandomAccess: true, Shards: shards, ShardWorkers: 4,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/shards=%d: %v", name, tf.Name(), shards, err)
+				}
+				if res.Stats.Random != 0 {
+					t.Fatalf("%s/%s/shards=%d: %d random accesses", name, tf.Name(), shards, res.Stats.Random)
+				}
+				got := core.TrueGradeMultiset(db, tf, res.Items)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s/shards=%d: grade multiset %v, want %v", name, tf.Name(), shards, got, want)
+					}
+				}
+				if name == "uniform" || name == "correlated" {
+					// Continuous grades: the top-k set is unique, so the
+					// object sets must agree exactly.
+					seqSet := map[repro.ObjectID]bool{}
+					for _, it := range seq.Items {
+						seqSet[it.Object] = true
+					}
+					for _, it := range res.Items {
+						if !seqSet[it.Object] {
+							t.Fatalf("%s/%s/shards=%d: object %d not in unsharded answer %v",
+								name, tf.Name(), shards, it.Object, seq.Objects())
+						}
+					}
+				}
+			}
+		}
 	}
 }
 
