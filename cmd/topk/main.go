@@ -36,6 +36,8 @@ func main() {
 		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
 		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (TA workers, or resumable NRA workers with -no-random; 0 = no sharding)")
 		workers  = flag.Int("shard-workers", 0, "max concurrent shard workers (0 = one per shard)")
+		publish  = flag.String("publish", "", "sharded NRA publish policy: per-round|every-r|bound-crossing (default: per-round at P=1, bound-crossing otherwise)")
+		publishR = flag.Int("publish-every", 0, "publish interval in rounds for every-r (default 16) or the bound-crossing safety valve (default 64)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -63,6 +65,8 @@ func main() {
 		NoRandomAccess: *noRandom,
 		Shards:         *shards,
 		ShardWorkers:   *workers,
+		Publish:        repro.PublishPolicy(*publish),
+		PublishEvery:   *publishR,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,114 @@
+package access
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// SharedScan multiplexes many query Sources over one physical sorted scan
+// per list. Each attached Source keeps its own cursors, policy and
+// accounting — a query's Stats are identical to what an independent run
+// would record — but the position a cursor reads is served from a shared
+// per-list window that the underlying subsystem fills exactly once, no
+// matter how many queries consume it. Q concurrent queries over the same
+// lists therefore cost the subsystem m scans (to the deepest consumer's
+// depth) instead of Q·m: the batch executor's whole point.
+//
+// Random accesses are not shared: each query's probes pass through (and are
+// counted) individually, since which objects a query probes depends on its
+// own algorithm and aggregation.
+//
+// A SharedScan and its attached Sources may be used from concurrent
+// goroutines; each attached Source itself still serves one query at a time,
+// as always.
+type SharedScan struct {
+	shared []*sharedList
+}
+
+// NewSharedScan wraps the given lists (all of equal length) in a shared
+// scan.
+func NewSharedScan(lists []ListSource) *SharedScan {
+	if len(lists) == 0 {
+		panic("access: need at least one list")
+	}
+	n := lists[0].Len()
+	ss := &SharedScan{shared: make([]*sharedList, len(lists))}
+	for i, l := range lists {
+		if l.Len() != n {
+			panic(fmt.Sprintf("access: list %d has %d entries, want %d", i, l.Len(), n))
+		}
+		ss.shared[i] = &sharedList{src: l}
+	}
+	return ss
+}
+
+// Attach returns a fresh accounting Source over the shared lists under the
+// given policy. Every sorted access the Source performs is served from the
+// shared windows; its Stats record the query's logical consumption exactly
+// as an unshared Source would.
+func (ss *SharedScan) Attach(policy Policy) *Source {
+	lists := make([]ListSource, len(ss.shared))
+	for i, l := range ss.shared {
+		lists[i] = l
+	}
+	return FromLists(lists, policy)
+}
+
+// Stats returns the executor-level physical accounting: Sorted and PerList
+// count the entries actually pulled from each underlying list (the deepest
+// attached consumer's depth, not the per-query sum), Random counts the
+// pass-through random probes, and MaxBuffered is the total number of
+// entries the scan windows held.
+func (ss *SharedScan) Stats() Stats {
+	st := Stats{PerList: make([]int64, len(ss.shared))}
+	for i, l := range ss.shared {
+		fetched, random := l.counts()
+		st.PerList[i] = fetched
+		st.Sorted += fetched
+		st.Random += random
+		st.MaxBuffered += int(fetched)
+	}
+	return st
+}
+
+// sharedList adapts one underlying list into a ListSource whose positional
+// reads are filled once and then served to every consumer from a window.
+type sharedList struct {
+	mu     sync.Mutex
+	src    ListSource
+	buf    []model.Entry // the scan window: positions [0, len(buf)) fetched so far
+	random int64         // pass-through random probes
+}
+
+func (l *sharedList) Len() int { return l.src.Len() }
+
+// At serves position pos from the window, extending the physical scan only
+// when pos is beyond everything fetched so far.
+func (l *sharedList) At(pos int) model.Entry {
+	l.mu.Lock()
+	for pos >= len(l.buf) {
+		l.buf = append(l.buf, l.src.At(len(l.buf)))
+	}
+	e := l.buf[pos]
+	l.mu.Unlock()
+	return e
+}
+
+// GradeOf passes a random probe through to the underlying list, counting it.
+func (l *sharedList) GradeOf(obj model.ObjectID) (model.Grade, bool) {
+	g, ok := l.src.GradeOf(obj)
+	if ok {
+		l.mu.Lock()
+		l.random++
+		l.mu.Unlock()
+	}
+	return g, ok
+}
+
+func (l *sharedList) counts() (fetched, random int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.buf)), l.random
+}

@@ -1,0 +1,129 @@
+package access
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestSharedScanServesIdenticalEntries checks that Sources attached to one
+// SharedScan observe exactly the entries an unshared Source observes, with
+// identical per-query accounting, while the physical scan advances each
+// list only once.
+func TestSharedScanServesIdenticalEntries(t *testing.T) {
+	db := testDB(t)
+	lists := make([]ListSource, db.M())
+	for i := range lists {
+		lists[i] = db.List(i)
+	}
+	ss := NewSharedScan(lists)
+	plain := New(db, AllowAll)
+	shared := ss.Attach(AllowAll)
+	for i := 0; i < db.M(); i++ {
+		for {
+			pe, pok := plain.SortedNext(i)
+			se, sok := shared.SortedNext(i)
+			if pok != sok || pe != se {
+				t.Fatalf("list %d: shared (%v, %v) diverged from plain (%v, %v)", i, se, sok, pe, pok)
+			}
+			if !pok {
+				break
+			}
+		}
+	}
+	if g, ok := shared.Random(0, 2); !ok || g != 0.5 {
+		t.Fatalf("random probe: got (%v, %v)", g, ok)
+	}
+	ps, sh := plain.Stats(), shared.Stats()
+	if ps.Sorted != sh.Sorted || sh.Random != 1 {
+		t.Fatalf("per-query accounting diverged: %+v vs %+v", sh, ps)
+	}
+	phys := ss.Stats()
+	if phys.Sorted != int64(db.N()*db.M()) || phys.Random != 1 {
+		t.Fatalf("physical accounting %+v, want %d sorted / 1 random", phys, db.N()*db.M())
+	}
+}
+
+// TestSharedScanScansOncePerList attaches several consumers at different
+// depths and checks the physical scan equals the deepest consumer's depth
+// per list, not the sum.
+func TestSharedScanScansOncePerList(t *testing.T) {
+	db := testDB(t)
+	lists := make([]ListSource, db.M())
+	for i := range lists {
+		lists[i] = db.List(i)
+	}
+	ss := NewSharedScan(lists)
+	depths := []int{1, 3, 2}
+	var totalLogical int64
+	for _, d := range depths {
+		src := ss.Attach(AllowAll)
+		for i := 0; i < db.M(); i++ {
+			for j := 0; j < d; j++ {
+				if _, ok := src.SortedNext(i); !ok {
+					t.Fatalf("unexpected exhaustion at depth %d", j)
+				}
+			}
+		}
+		totalLogical += src.Stats().Sorted
+	}
+	phys := ss.Stats()
+	wantPhys := int64(3 * db.M()) // deepest consumer reached depth 3 on every list
+	if phys.Sorted != wantPhys {
+		t.Fatalf("physical sorted = %d, want %d (logical total %d)", phys.Sorted, wantPhys, totalLogical)
+	}
+	for i, d := range phys.PerList {
+		if d != 3 {
+			t.Fatalf("list %d physical depth %d, want 3", i, d)
+		}
+	}
+	if totalLogical != int64((1+3+2)*db.M()) {
+		t.Fatalf("logical total %d, want %d", totalLogical, (1+3+2)*db.M())
+	}
+}
+
+// TestSharedScanConcurrentConsumers hammers one window from many goroutines
+// (meaningful under -race) and checks everyone sees the same entries.
+func TestSharedScanConcurrentConsumers(t *testing.T) {
+	db := testDB(t)
+	lists := make([]ListSource, db.M())
+	for i := range lists {
+		lists[i] = db.List(i)
+	}
+	ss := NewSharedScan(lists)
+	want := New(db, AllowAll)
+	var wantEntries []model.Entry
+	for {
+		e, ok := want.SortedNext(0)
+		if !ok {
+			break
+		}
+		wantEntries = append(wantEntries, e)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := ss.Attach(Policy{NoRandom: true})
+			for j := 0; ; j++ {
+				e, ok := src.SortedNext(0)
+				if !ok {
+					if j != len(wantEntries) {
+						t.Errorf("consumer saw %d entries, want %d", j, len(wantEntries))
+					}
+					return
+				}
+				if e != wantEntries[j] {
+					t.Errorf("entry %d = %v, want %v", j, e, wantEntries[j])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if phys := ss.Stats(); phys.Sorted != int64(len(wantEntries)) {
+		t.Fatalf("physical sorted = %d, want %d", phys.Sorted, len(wantEntries))
+	}
+}

@@ -80,7 +80,15 @@ type table struct {
 	cands   candHeap   // lazy engine: seen objects outside topk, not retired
 
 	scratch []model.Grade
+
+	// Bump allocators: partial structs and their grade slices are carved
+	// out of slab allocations so the sorted-access hot path costs ~2 heap
+	// allocations per partSlabSize objects instead of 2 per object.
+	partSlab  []partial
+	gradeSlab []model.Grade
 }
+
+const partSlabSize = 128
 
 func newTable(src *access.Source, t agg.Func, k int, lazy bool) *table {
 	m := src.M()
@@ -171,12 +179,21 @@ func (tb *table) resortTopK() {
 func (tb *table) learn(obj model.ObjectID, list int, g model.Grade) *partial {
 	p := tb.parts[obj]
 	if p == nil {
-		p = &partial{
+		if len(tb.partSlab) == 0 {
+			tb.partSlab = make([]partial, partSlabSize)
+		}
+		if len(tb.gradeSlab) < tb.m {
+			tb.gradeSlab = make([]model.Grade, partSlabSize*tb.m)
+		}
+		p = &tb.partSlab[0]
+		tb.partSlab = tb.partSlab[1:]
+		*p = partial{
 			obj:     obj,
-			grades:  make([]model.Grade, tb.m),
+			grades:  tb.gradeSlab[:tb.m:tb.m],
 			heapIdx: -1,
 			bDepth:  -1,
 		}
+		tb.gradeSlab = tb.gradeSlab[tb.m:]
 		tb.parts[obj] = p
 	}
 	bit := uint64(1) << uint(list)

@@ -32,6 +32,7 @@ type NRACursor struct {
 
 	exhausted   bool
 	encountered []model.ObjectID // objects seen during the latest Step round
+	viewItems   []Scored         // reusable backing for View().TopK
 }
 
 // CursorView is the interval evidence a cursor has accumulated at its
@@ -43,7 +44,9 @@ type NRACursor struct {
 type CursorView struct {
 	// TopK is the current top-k (≤ k entries early on), ordered by
 	// (W descending, B descending, ObjectID ascending); each item carries
-	// Lower = W and Upper = B.
+	// Lower = W and Upper = B. The slice is backed by a per-cursor buffer
+	// that the next View call reuses: consume it (the sharded coordinator
+	// merges it under lock) or copy it, but do not retain it across calls.
 	TopK []Scored
 	// Threshold is τ = t(x̄₁,…,x̄ₘ), the best possible grade of an unseen
 	// object; meaningful only while SeenAll is false.
@@ -119,25 +122,43 @@ func (c *NRACursor) Depth() int { return c.tb.depth }
 // Threshold returns τ, the best possible grade of an unseen object.
 func (c *NRACursor) Threshold() model.Grade { return c.tb.threshold() }
 
+// LocalKthW returns the cursor's k-th largest W, or -Inf while fewer than k
+// objects are held — the local evidence that can raise a global bound. O(1);
+// batched publish policies poll it every round without building a View.
+func (c *NRACursor) LocalKthW() model.Grade { return c.tb.mk() }
+
+// SeenAll reports whether every object of the source has been seen under
+// sorted access (the threshold then bounds nothing).
+func (c *NRACursor) SeenAll() bool { return len(c.tb.parts) >= c.src.N() }
+
+// OutsideB returns the largest fresh B among viable seen objects outside the
+// local top-k, or -Inf when none remains — the same value View reports,
+// without assembling the rest of the view. Like View, computing it retires
+// lazily-discovered non-viable candidates, which is sound (B only falls and
+// M_k only rises).
+func (c *NRACursor) OutsideB() model.Grade {
+	if c.tb.lazy {
+		if cand := c.tb.drainTop(c.tb.mk()); cand != nil {
+			return cand.b
+		}
+		return model.Grade(math.Inf(-1))
+	}
+	return c.tb.maxBOutsideRescan()
+}
+
 // View assembles the current interval evidence. Top-k B values are
 // refreshed to the current depth; OutsideB is the fresh maximum outside the
 // top-k (computing it retires lazily-discovered non-viable candidates,
 // which is sound: B only falls and M_k only rises).
 func (c *NRACursor) View() CursorView {
 	tb := c.tb
-	items := make([]Scored, len(tb.topk))
-	for i, p := range tb.topk {
+	items := c.viewItems[:0]
+	for _, p := range tb.topk {
 		tb.refreshB(p)
-		items[i] = Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b}
+		items = append(items, Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b})
 	}
-	outside := model.Grade(math.Inf(-1))
-	if tb.lazy {
-		if cand := tb.drainTop(tb.mk()); cand != nil {
-			outside = cand.b
-		}
-	} else {
-		outside = tb.maxBOutsideRescan()
-	}
+	c.viewItems = items
+	outside := c.OutsideB()
 	return CursorView{
 		TopK:      items,
 		Threshold: tb.threshold(),

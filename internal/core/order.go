@@ -1,0 +1,302 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/model"
+)
+
+// OrderedCands is the incrementally maintained candidate order behind the
+// sharded-NRA coordinator: a table of [W, B] grade intervals keyed by the
+// canonical NRA order (W descending, B descending, ObjectID ascending) that
+// supports O(log n) insert/update and O(k) top-k extraction — replacing the
+// full re-sort the coordinator used to pay on every worker publish.
+//
+// The structure relies on the coordinator's monotonicity invariants: per
+// object, W never falls and B never rises across publishes, and the global
+// k-th W (Mk) never falls. Entries split into a small sorted top slice (the
+// current canonical top-k) and a max-heap of everything outside it; per-shard
+// B-ceilings are *not* kept hot — they are recomputed lazily, on demand, from
+// compact per-shard row lists, because a publish only needs the publishing
+// shard's ceiling, not all P of them.
+//
+// OrderedCands is not safe for concurrent use; the coordinator serializes
+// access under its own mutex.
+type OrderedCands struct {
+	k     int
+	index map[model.ObjectID]*OrderEntry
+	top   []*OrderEntry // canonical best min(k, size), sorted best-first
+	out   outsideHeap   // everything else, max-heap by canonical order
+	// byShard[s] holds every live entry of shard s (top or outside); dead
+	// entries linger until the next CapShard/prune compaction.
+	byShard [][]*OrderEntry
+
+	slab    []OrderEntry // bump allocator: one allocation per batch of entries
+	pruneAt int          // next Size() that triggers a prune sweep
+}
+
+// OrderEntry is one row of the table: the latest merged [W, B] interval for
+// an object and the shard it lives in.
+type OrderEntry struct {
+	Obj   model.ObjectID
+	W, B  model.Grade
+	Shard int
+
+	inTop bool
+	pos   int // index in the outside heap; -1 while inTop
+	dead  bool
+}
+
+// canonBetter reports whether a ranks strictly above b in the canonical NRA
+// candidate order (W descending, B descending, ObjectID ascending).
+func canonBetter(a, b *OrderEntry) bool {
+	if a.W != b.W {
+		return a.W > b.W
+	}
+	if a.B != b.B {
+		return a.B > b.B
+	}
+	return a.Obj < b.Obj
+}
+
+// outsideHeap is a max-heap over the canonical order, with position indices
+// maintained so updated entries can be fixed in O(log n).
+type outsideHeap []*OrderEntry
+
+func (h outsideHeap) Len() int           { return len(h) }
+func (h outsideHeap) Less(i, j int) bool { return canonBetter(h[i], h[j]) }
+func (h outsideHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *outsideHeap) Push(x interface{}) {
+	e := x.(*OrderEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *outsideHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.pos = -1
+	*h = old[:n-1]
+	return e
+}
+
+const entrySlabSize = 128
+
+// NewOrderedCands returns an empty table for a top-k query over the given
+// number of shards.
+func NewOrderedCands(k, shards int) *OrderedCands {
+	return &OrderedCands{
+		k:       k,
+		index:   make(map[model.ObjectID]*OrderEntry),
+		byShard: make([][]*OrderEntry, shards),
+		pruneAt: 4*k + 64,
+	}
+}
+
+// Size returns the number of live entries.
+func (oc *OrderedCands) Size() int { return len(oc.index) }
+
+// Mk returns the global k-th largest W, or -Inf while the table holds fewer
+// than k entries.
+func (oc *OrderedCands) Mk() model.Grade {
+	if len(oc.top) < oc.k {
+		return model.Grade(math.Inf(-1))
+	}
+	return oc.top[oc.k-1].W
+}
+
+// Upsert merges one published [w, b] interval for obj into the table in
+// O(log n). W never falls and B never rises; a previously pruned object is
+// simply re-inserted with its fresh interval.
+func (oc *OrderedCands) Upsert(obj model.ObjectID, shard int, w, b model.Grade) {
+	if e := oc.index[obj]; e != nil {
+		changed := false
+		if w > e.W {
+			e.W = w
+			changed = true
+		}
+		if b < e.B {
+			e.B = b
+			changed = true
+		}
+		if !changed {
+			return
+		}
+		if e.inTop {
+			oc.resortTop()
+		} else {
+			heap.Fix(&oc.out, e.pos)
+		}
+		oc.fixup()
+		return
+	}
+	if len(oc.slab) == 0 {
+		oc.slab = make([]OrderEntry, entrySlabSize)
+	}
+	e := &oc.slab[0]
+	oc.slab = oc.slab[1:]
+	*e = OrderEntry{Obj: obj, W: w, B: b, Shard: shard, pos: -1}
+	oc.index[obj] = e
+	oc.byShard[shard] = append(oc.byShard[shard], e)
+	if len(oc.top) < oc.k {
+		oc.insertTop(e)
+		return
+	}
+	if canonBetter(e, oc.top[oc.k-1]) {
+		oc.demoteWorst()
+		oc.insertTop(e)
+		return
+	}
+	heap.Push(&oc.out, e)
+}
+
+// insertTop places e into the sorted top slice (O(k)).
+func (oc *OrderedCands) insertTop(e *OrderEntry) {
+	e.inTop = true
+	e.pos = -1
+	oc.top = append(oc.top, e)
+	for i := len(oc.top) - 1; i > 0 && canonBetter(oc.top[i], oc.top[i-1]); i-- {
+		oc.top[i], oc.top[i-1] = oc.top[i-1], oc.top[i]
+	}
+}
+
+// demoteWorst evicts the current k-th entry into the outside heap.
+func (oc *OrderedCands) demoteWorst() {
+	worst := oc.top[len(oc.top)-1]
+	oc.top = oc.top[:len(oc.top)-1]
+	worst.inTop = false
+	heap.Push(&oc.out, worst)
+}
+
+// resortTop restores the sorted order of the top slice after bound updates
+// (insertion sort: the slice is nearly sorted and ≤ k long).
+func (oc *OrderedCands) resortTop() {
+	s := oc.top
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && canonBetter(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// fixup restores the invariant that no outside entry ranks canonically above
+// the k-th top entry (bound updates can reorder across the boundary).
+func (oc *OrderedCands) fixup() {
+	for len(oc.top) == oc.k && oc.out.Len() > 0 && canonBetter(oc.out[0], oc.top[oc.k-1]) {
+		promoted := heap.Pop(&oc.out).(*OrderEntry)
+		oc.demoteWorst()
+		oc.insertTop(promoted)
+	}
+}
+
+// CapShard lowers B to bound for every live entry of shard s outside the
+// published set (the rows the shard no longer ranks in its local top-k; see
+// the coordinator's merge soundness argument). It compacts dead rows from
+// the shard's list along the way.
+func (oc *OrderedCands) CapShard(s int, bound model.Grade, published map[model.ObjectID]bool) {
+	rows := oc.byShard[s]
+	live := rows[:0]
+	topChanged := false
+	for _, e := range rows {
+		if e.dead {
+			continue
+		}
+		live = append(live, e)
+		if published[e.Obj] || e.B <= bound {
+			continue
+		}
+		e.B = bound
+		if e.inTop {
+			topChanged = true
+		} else {
+			heap.Fix(&oc.out, e.pos)
+		}
+	}
+	for i := len(live); i < len(rows); i++ {
+		rows[i] = nil
+	}
+	oc.byShard[s] = live
+	if topChanged {
+		oc.resortTop()
+	}
+	oc.fixup()
+}
+
+// ShardCeiling returns the largest B among shard s's live entries outside
+// the global top-k, or -Inf when none — the table's contribution to the
+// shard's B-ceiling, computed lazily from the per-shard row list.
+func (oc *OrderedCands) ShardCeiling(s int) model.Grade {
+	ceil := model.Grade(math.Inf(-1))
+	for _, e := range oc.byShard[s] {
+		if !e.dead && !e.inTop && e.B > ceil {
+			ceil = e.B
+		}
+	}
+	return ceil
+}
+
+// MaybePrune drops outside entries settled strictly below Mk once the table
+// has grown past its prune threshold. Sound for the same reason as the old
+// per-round prune: such an entry has W ≤ B < Mk with W frozen until its own
+// shard republishes it, so it can never re-enter the top-k or decide a
+// ceiling-vs-Mk comparison; a republished object is re-inserted fresh. Rows
+// tied at Mk survive so the canonical (W, B, id) order stays fully resolved.
+func (oc *OrderedCands) MaybePrune() {
+	if len(oc.index) < oc.pruneAt {
+		return
+	}
+	mk := oc.Mk()
+	if math.IsInf(float64(mk), -1) {
+		return
+	}
+	kept := oc.out[:0]
+	for _, e := range oc.out {
+		if e.B >= mk {
+			kept = append(kept, e)
+		} else {
+			e.dead = true
+			e.pos = -1
+			delete(oc.index, e.Obj)
+		}
+	}
+	for i := len(kept); i < len(oc.out); i++ {
+		oc.out[i] = nil
+	}
+	oc.out = kept
+	for i := range oc.out {
+		oc.out[i].pos = i
+	}
+	heap.Init(&oc.out)
+	for s, rows := range oc.byShard {
+		live := rows[:0]
+		for _, e := range rows {
+			if !e.dead {
+				live = append(live, e)
+			}
+		}
+		for i := len(live); i < len(rows); i++ {
+			rows[i] = nil
+		}
+		oc.byShard[s] = live
+	}
+	next := 2*len(oc.index) + 64
+	if min := 4*oc.k + 64; next < min {
+		next = min
+	}
+	oc.pruneAt = next
+}
+
+// AppendTopK appends the current canonical top-k (≤ k entries) to dst as
+// Scored items carrying [Lower, Upper] = [W, B] and returns it.
+func (oc *OrderedCands) AppendTopK(dst []Scored) []Scored {
+	for _, e := range oc.top {
+		dst = append(dst, Scored{Object: e.Obj, Grade: e.W, Lower: e.W, Upper: e.B})
+	}
+	return dst
+}

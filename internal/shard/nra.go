@@ -29,13 +29,26 @@
 // which point the table's top k by W is a valid top-k object set: every
 // member's grade is ≥ its W ≥ M_k, and everything else is ≤ its ceiling
 // ≤ M_k.
+//
+// Two things keep the coordinator off the hot path. The candidate table is
+// a core.OrderedCands — an incrementally maintained canonical order with
+// O(log n) upserts, O(k) top-k extraction and lazily recomputed per-shard
+// ceilings — instead of a table fully re-sorted under the mutex on every
+// publish. And workers need not publish every round: the publish policies
+// (Options.Publish) batch publishes every R rounds or defer them until the
+// worker's local bounds actually cross the published global M_k, which a
+// worker checks against an atomic without taking the coordinator lock.
+// Batching never changes the answer — a worker can only overshoot in depth,
+// never pause early, because pausing itself requires a publish and the
+// coordinator's directive — and PublishPerRound (the P=1 default) preserves
+// the exact sequential-NRA depth equivalence.
 package shard
 
 import (
 	"context"
 	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/agg"
@@ -43,54 +56,45 @@ import (
 	"repro/internal/model"
 )
 
-// nraCand is one row of the coordinator's global candidate table: the
-// latest published [W, B] interval for an object and the shard it lives in.
-type nraCand struct {
-	obj   model.ObjectID
-	w, b  model.Grade
-	shard int
-	inTop bool // member of the global top-k at the last recompute
-}
-
-// nraCoordinator is the shared state behind one sharded NRA query. All
-// fields are guarded by mu; workers call publish after every sorted-access
-// round and obey the returned directive.
+// nraCoordinator is the shared state behind one sharded NRA query. The
+// candidate table and per-shard scalars are guarded by mu; the published
+// global M_k is mirrored into an atomic so batching workers can poll it
+// lock-free between publishes.
 type nraCoordinator struct {
 	mu sync.Mutex
 	k  int
 
-	cands map[model.ObjectID]*nraCand
-	order []*nraCand // table entries, re-sorted on every recompute
+	tbl *core.OrderedCands
 
 	ks        []int         // per-shard local k (min(k, shard size))
 	threshold []model.Grade // per-shard τ_s, +Inf before the first publish
 	outsideB  []model.Grade // per-shard max viable B outside the local top-k
 	seenAll   []bool        // shard has seen every one of its objects
 	exhausted []bool        // shard has consumed every list entirely
-	ceilings  []model.Grade // per-shard B-ceiling at the last recompute
-	mk        model.Grade   // global k-th largest W, -Inf while table < k
 
-	peak    int // peak table size — the coordinator's buffer accounting
-	stopped bool
+	mkBits  atomic.Uint64 // Float64bits of the global k-th W, -Inf while table < k
+	stopped atomic.Bool   // external cancellation or a worker error
+
+	peak      int                     // peak table size — the coordinator's buffer accounting
+	published map[model.ObjectID]bool // merge scratch, reused across publishes (under mu)
 }
 
 func newNRACoordinator(p, k int, ks []int) *nraCoordinator {
 	c := &nraCoordinator{
 		k:         k,
-		cands:     make(map[model.ObjectID]*nraCand),
+		tbl:       core.NewOrderedCands(k, p),
 		ks:        ks,
 		threshold: make([]model.Grade, p),
 		outsideB:  make([]model.Grade, p),
 		seenAll:   make([]bool, p),
 		exhausted: make([]bool, p),
-		ceilings:  make([]model.Grade, p),
-		mk:        model.Grade(math.Inf(-1)),
+		published: make(map[model.ObjectID]bool, 2*k),
 	}
 	for s := 0; s < p; s++ {
 		c.threshold[s] = model.Grade(math.Inf(1))
 		c.outsideB[s] = model.Grade(math.Inf(1))
-		c.ceilings[s] = model.Grade(math.Inf(1))
 	}
+	c.mkBits.Store(math.Float64bits(math.Inf(-1)))
 	return c
 }
 
@@ -101,24 +105,13 @@ func newNRACoordinator(p, k int, ks []int) *nraCoordinator {
 // fresh B provably respects (drainTop retires at ≤ local M_k; survivors
 // are ≤ outsideB). Must be called with mu held.
 func (c *nraCoordinator) merge(s int, v core.CursorView) {
-	published := make(map[model.ObjectID]bool, len(v.TopK))
+	clear(c.published)
 	for _, it := range v.TopK {
-		published[it.Object] = true
-		if p := c.cands[it.Object]; p != nil {
-			if it.Lower > p.w {
-				p.w = it.Lower
-			}
-			if it.Upper < p.b {
-				p.b = it.Upper
-			}
-			continue
-		}
-		p := &nraCand{obj: it.Object, w: it.Lower, b: it.Upper, shard: s}
-		c.cands[it.Object] = p
-		c.order = append(c.order, p)
+		c.published[it.Object] = true
+		c.tbl.Upsert(it.Object, s, it.Lower, it.Upper)
 	}
-	if len(c.cands) > c.peak {
-		c.peak = len(c.cands)
+	if n := c.tbl.Size(); n > c.peak {
+		c.peak = n
 	}
 	localMk := model.Grade(math.Inf(-1))
 	if len(v.TopK) == c.ks[s] && len(v.TopK) > 0 {
@@ -128,78 +121,47 @@ func (c *nraCoordinator) merge(s int, v core.CursorView) {
 	if localMk > bound {
 		bound = localMk
 	}
-	for _, p := range c.order {
-		if p.shard == s && !published[p.obj] && p.b > bound {
-			p.b = bound
-		}
-	}
+	c.tbl.CapShard(s, bound, c.published)
 	if v.Threshold < c.threshold[s] {
 		c.threshold[s] = v.Threshold
 	}
 	c.outsideB[s] = v.OutsideB
 	c.seenAll[s] = c.seenAll[s] || v.SeenAll
+	c.tbl.MaybePrune()
+	c.mkBits.Store(math.Float64bits(float64(c.tbl.Mk())))
 }
 
-// recompute re-sorts the table, refreshes global top-k membership and M_k,
-// and recomputes every shard's B-ceiling. Must be called with mu held.
-func (c *nraCoordinator) recompute() {
-	sort.Slice(c.order, func(i, j int) bool {
-		a, b := c.order[i], c.order[j]
-		if a.w != b.w {
-			return a.w > b.w
-		}
-		if a.b != b.b {
-			return a.b > b.b
-		}
-		return a.obj < b.obj
-	})
-	c.mk = model.Grade(math.Inf(-1))
-	if len(c.order) >= c.k {
-		c.mk = c.order[c.k-1].w
+// ceiling recomputes shard s's B-ceiling from the per-shard scalars and the
+// table's lazily maintained per-shard rows. Must be called with mu held.
+func (c *nraCoordinator) ceiling(s int) model.Grade {
+	ceil := model.Grade(math.Inf(-1))
+	if !c.exhausted[s] && !c.seenAll[s] {
+		ceil = c.threshold[s]
 	}
-	for s := range c.ceilings {
-		c.ceilings[s] = model.Grade(math.Inf(-1))
-		if !c.exhausted[s] && !c.seenAll[s] && c.threshold[s] > c.ceilings[s] {
-			c.ceilings[s] = c.threshold[s]
-		}
-		if c.outsideB[s] > c.ceilings[s] {
-			c.ceilings[s] = c.outsideB[s]
-		}
+	if c.outsideB[s] > ceil {
+		ceil = c.outsideB[s]
 	}
-	for i, p := range c.order {
-		p.inTop = i < c.k
-		if !p.inTop && p.b > c.ceilings[p.shard] {
-			c.ceilings[p.shard] = p.b
-		}
+	if tc := c.tbl.ShardCeiling(s); tc > ceil {
+		ceil = tc
 	}
-	// Prune rows strictly settled below M_k: an outside row with B < M_k
-	// has W ≤ B < M_k with W frozen until its shard republishes it, so it
-	// can never re-enter the top-k or raise a ceiling; dropping it keeps
-	// the table near k + active-churn instead of growing with depth. (A
-	// republished object is simply re-inserted.) Kept strict so tied rows
-	// survive for the canonical (W, B, id) ordering.
-	kept := c.order[:0]
-	for _, p := range c.order {
-		if p.inTop || p.b >= c.mk {
-			kept = append(kept, p)
-		} else {
-			delete(c.cands, p.obj)
-		}
-	}
-	for i := len(kept); i < len(c.order); i++ {
-		c.order[i] = nil
-	}
-	c.order = kept
+	return ceil
 }
 
 // publish folds shard s's view in and reports whether the shard should keep
-// stepping: true while its B-ceiling still exceeds the global M_k.
+// stepping: true while its B-ceiling still exceeds the global M_k. Only the
+// publishing shard's ceiling is recomputed — the other shards' ceilings are
+// refreshed lazily when the wave loop asks for the unresolved set.
 func (c *nraCoordinator) publish(s int, v core.CursorView) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.merge(s, v)
-	c.recompute()
-	return c.ceilings[s] > c.mk
+	return c.ceiling(s) > c.tbl.Mk()
+}
+
+// globalMk returns the published global k-th W without taking the lock
+// (-Inf while the table holds fewer than k entries).
+func (c *nraCoordinator) globalMk() float64 {
+	return math.Float64frombits(c.mkBits.Load())
 }
 
 // markExhausted records a shard that consumed every list (its intervals are
@@ -207,7 +169,6 @@ func (c *nraCoordinator) publish(s int, v core.CursorView) bool {
 func (c *nraCoordinator) markExhausted(s int) {
 	c.mu.Lock()
 	c.exhausted[s] = true
-	c.recompute()
 	c.mu.Unlock()
 }
 
@@ -218,25 +179,14 @@ func (c *nraCoordinator) markExhausted(s int) {
 func (c *nraCoordinator) unresolved() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	mk := c.tbl.Mk()
 	var out []int
-	for s := range c.ceilings {
-		if !c.exhausted[s] && c.ceilings[s] > c.mk {
+	for s := range c.exhausted {
+		if !c.exhausted[s] && c.ceiling(s) > mk {
 			out = append(out, s)
 		}
 	}
 	return out
-}
-
-func (c *nraCoordinator) stop() {
-	c.mu.Lock()
-	c.stopped = true
-	c.mu.Unlock()
-}
-
-func (c *nraCoordinator) isStopped() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stopped
 }
 
 // topK returns the final global answer: the table's best k by
@@ -245,21 +195,43 @@ func (c *nraCoordinator) isStopped() bool {
 func (c *nraCoordinator) topK() (items []core.Scored, exact bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.recompute()
-	n := c.k
-	if len(c.order) < n {
-		n = len(c.order)
-	}
-	items = make([]core.Scored, n)
+	items = c.tbl.AppendTopK(make([]core.Scored, 0, c.k))
 	exact = true
-	for i := 0; i < n; i++ {
-		p := c.order[i]
-		items[i] = core.Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.b}
-		if p.w != p.b {
+	for _, it := range items {
+		if it.Lower != it.Upper {
 			exact = false
 		}
 	}
 	return items, exact
+}
+
+// shouldPublish evaluates the publish policy after one completed round.
+// since counts rounds since the last publish; gmk is the atomically
+// published global M_k. Skipping a publish is always sound: pausing
+// requires the coordinator's directive, which requires publishing, so an
+// unpublished worker merely keeps scanning (bounded by the safety valve
+// and, ultimately, exhaustion — which always publishes).
+func shouldPublish(plan publishPlan, since int, cur *core.NRACursor, gmk float64) bool {
+	switch plan.policy {
+	case PublishPerRound:
+		return true
+	case PublishEveryR:
+		return since >= plan.every
+	default: // PublishBoundCrossing
+		if since >= plan.every {
+			return true
+		}
+		if float64(cur.LocalKthW()) > gmk {
+			return true // local evidence can raise the global M_k
+		}
+		if cur.SeenAll() || float64(cur.Threshold()) <= gmk {
+			// The unseen-object bound no longer exceeds M_k; if the
+			// outside-B ceiling agrees the shard may be pausable, which
+			// only a publish can decide.
+			return float64(cur.OutsideB()) <= gmk
+		}
+		return false
+	}
 }
 
 // queryNRA answers a top-k query with one resumable NRA worker per shard —
@@ -271,6 +243,10 @@ func (c *nraCoordinator) topK() (items []core.Scored, exact bool) {
 // and sequential MaxBuffered are comparable.
 func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) (*core.Result, error) {
 	p := len(e.shards)
+	plan, err := resolvePublish(opts, p)
+	if err != nil {
+		return nil, err
+	}
 	ks := make([]int, p)
 	srcs := make([]*access.Source, p)
 	cursors := make([]*core.NRACursor, p)
@@ -300,12 +276,13 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		ForEach(len(batch), opts.Workers, func(i int) {
 			s := batch[i]
 			cur := cursors[s]
+			since := 0
 			for {
-				if coord.isStopped() {
+				if coord.stopped.Load() {
 					return
 				}
 				if ctx.Err() != nil {
-					coord.stop()
+					coord.stopped.Store(true)
 					return
 				}
 				if !cur.Step() {
@@ -313,6 +290,11 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 					coord.markExhausted(s)
 					return
 				}
+				since++
+				if !shouldPublish(plan, since, cur, coord.globalMk()) {
+					continue
+				}
+				since = 0
 				if !coord.publish(s, cur.View()) {
 					return
 				}

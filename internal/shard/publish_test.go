@@ -1,0 +1,154 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// TestPublishPoliciesMatchSequentialNRA is the batched-publish property
+// test: every publish policy, at every shard count, must return the same
+// top-k object-set evidence as sequential NRA — a valid top-k set whose
+// tie-safe true-grade multiset equals the sequential answer's — because
+// batching only changes when coordination happens, never what is decided.
+func TestPublishPoliciesMatchSequentialNRA(t *testing.T) {
+	const m, k = 3, 8
+	policies := []shard.Options{
+		{NoRandomAccess: true, Publish: shard.PublishPerRound},
+		{NoRandomAccess: true, Publish: shard.PublishEveryR},
+		{NoRandomAccess: true, Publish: shard.PublishEveryR, PublishEvery: 3},
+		{NoRandomAccess: true, Publish: shard.PublishBoundCrossing},
+		{NoRandomAccess: true, Publish: shard.PublishBoundCrossing, PublishEvery: 7},
+		{NoRandomAccess: true}, // auto
+	}
+	for name, db := range workloadsUnderTest(t, m) {
+		for _, tf := range []agg.Func{agg.Min(m), agg.Avg(m)} {
+			kk := k
+			if kk > db.N() {
+				kk = db.N()
+			}
+			seq, err := (&core.NRA{}).Run(access.New(db, access.Policy{NoRandom: true}), tf, kk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.TrueGradeMultiset(db, tf, seq.Items)
+			for _, p := range []int{1, 2, 4, 7} {
+				eng, err := shard.New(db, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, opts := range policies {
+					label := fmt.Sprintf("%s/%s/P=%d/policy=%q/R=%d", name, tf.Name(), p, opts.Publish, opts.PublishEvery)
+					res, err := eng.Query(tf, kk, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if res.Stats.Random != 0 {
+						t.Fatalf("%s: %d random accesses", label, res.Stats.Random)
+					}
+					assertValidTopKSet(t, label, db, tf, kk, res.Items)
+					got := core.TrueGradeMultiset(db, tf, res.Items)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s: grade multiset %v, want %v", label, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPublishStrictP1MatchesSequentialDepth pins the strict mode the P=1
+// tests rely on: with one shard and per-round publishes (explicit or via
+// PublishAuto), the engine's pause rule coincides with sequential NRA's
+// halting rule access for access, so the sorted-access count — and the
+// answer items with their intervals — are identical. Batched policies at
+// P=1 may legitimately overshoot, but never below the sequential depth.
+func TestPublishStrictP1MatchesSequentialDepth(t *testing.T) {
+	const m, k = 3, 8
+	for _, seed := range []int64{61, 62} {
+		db, err := workload.IndependentUniform(workload.Spec{N: 600, M: m, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf := agg.Avg(m)
+		seq, err := (&core.NRA{}).Run(access.New(db, access.Policy{NoRandom: true}), tf, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := shard.New(db, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []shard.Options{
+			{NoRandomAccess: true},
+			{NoRandomAccess: true, Publish: shard.PublishPerRound},
+		} {
+			res, err := eng.Query(tf, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("seed=%d/policy=%q", seed, opts.Publish)
+			assertItemsEqual(t, label, res.Items, seq.Items)
+			if res.Stats.Sorted != seq.Stats.Sorted {
+				t.Fatalf("%s: %d sorted accesses, sequential NRA used %d", label, res.Stats.Sorted, seq.Stats.Sorted)
+			}
+		}
+		// Batched policies may overshoot but never undershoot sequential.
+		for _, opts := range []shard.Options{
+			{NoRandomAccess: true, Publish: shard.PublishEveryR, PublishEvery: 5},
+			{NoRandomAccess: true, Publish: shard.PublishBoundCrossing},
+		} {
+			res, err := eng.Query(tf, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Sorted < seq.Stats.Sorted {
+				t.Fatalf("seed=%d policy=%q: %d sorted accesses undershoots sequential %d",
+					seed, opts.Publish, res.Stats.Sorted, seq.Stats.Sorted)
+			}
+		}
+	}
+}
+
+// TestPublishOptionValidation checks every publish-knob rejection wraps
+// core.ErrBadQuery: unknown policies, negative intervals, intervals that
+// conflict with per-round, and publish knobs on the TA mode.
+func TestPublishOptionValidation(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 64, M: 2, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := shard.New(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := agg.Avg(2)
+	for _, tc := range []struct {
+		name string
+		opts shard.Options
+	}{
+		{"unknown policy", shard.Options{NoRandomAccess: true, Publish: "sometimes"}},
+		{"negative interval", shard.Options{NoRandomAccess: true, PublishEvery: -1}},
+		{"per-round with interval", shard.Options{NoRandomAccess: true, Publish: shard.PublishPerRound, PublishEvery: 4}},
+		{"TA mode with policy", shard.Options{Publish: shard.PublishEveryR}},
+		{"TA mode with interval", shard.Options{PublishEvery: 8}},
+	} {
+		if _, err := eng.Query(tf, 5, tc.opts); !errors.Is(err, core.ErrBadQuery) {
+			t.Fatalf("%s: got %v, want ErrBadQuery", tc.name, err)
+		}
+	}
+	// PublishEvery alone selects the every-R policy and is accepted.
+	res, err := eng.Query(tf, 5, shard.Options{NoRandomAccess: true, PublishEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidTopKSet(t, "every-4 via interval", db, tf, 5, res.Items)
+}

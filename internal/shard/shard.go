@@ -35,6 +35,34 @@ import (
 	"repro/internal/model"
 )
 
+// PublishPolicy selects when a no-random-access shard worker publishes its
+// [W, B] interval view to the coordinator. Publishing is pure coordination
+// overhead — the answer is identical under every policy; only the publish
+// (and therefore merge) frequency and the workers' overshoot depth change.
+type PublishPolicy string
+
+const (
+	// PublishAuto (the zero value) resolves to PublishPerRound for a
+	// single shard — preserving the exact sequential-NRA depth equivalence
+	// — and PublishBoundCrossing otherwise.
+	PublishAuto PublishPolicy = ""
+	// PublishPerRound publishes after every sorted-access round, the
+	// strict mode: at P = 1 the worker's pause rule then coincides with
+	// sequential NRA's halting rule access for access.
+	PublishPerRound PublishPolicy = "per-round"
+	// PublishEveryR publishes every PublishEvery rounds (default 16).
+	// Workers overshoot the minimal depth by at most R-1 rounds per wave
+	// in exchange for 1/R as many coordinator merges.
+	PublishEveryR PublishPolicy = "every-r"
+	// PublishBoundCrossing publishes only when the worker's local evidence
+	// can change the global decision: its local k-th W rose above the
+	// published global M_k (it can raise the bar), or its local ceiling
+	// max(τ, outside-B) fell to M_k or below (it may be pausable) — plus a
+	// safety-valve publish every PublishEvery rounds (default 64) so the
+	// coordinator's view never goes stale.
+	PublishBoundCrossing PublishPolicy = "bound-crossing"
+)
+
 // Options configures one sharded query.
 type Options struct {
 	// Workers bounds the number of concurrently running shard workers;
@@ -51,6 +79,61 @@ type Options struct {
 	// *object set* with [W, B] grade intervals; Result.Stats.Random is
 	// always zero.
 	NoRandomAccess bool
+	// Publish selects the no-random-access publish policy; the zero value
+	// is PublishAuto. Setting it without NoRandomAccess is rejected with
+	// ErrBadQuery (TA workers publish through their progress hook, which
+	// has no batching to configure).
+	Publish PublishPolicy
+	// PublishEvery tunes the selected policy's round interval: the R of
+	// PublishEveryR (default 16) or the safety-valve interval of
+	// PublishBoundCrossing (default 64). With PublishAuto a positive value
+	// selects PublishEveryR. Negative values, and values above 1 combined
+	// with PublishPerRound, are rejected with ErrBadQuery.
+	PublishEvery int
+}
+
+// publishPlan is a resolved publish policy for a P-shard run.
+type publishPlan struct {
+	policy PublishPolicy
+	every  int // PublishEveryR period or PublishBoundCrossing safety valve
+}
+
+// resolvePublish validates the publish knobs and resolves PublishAuto
+// against the shard count.
+func resolvePublish(opts Options, p int) (publishPlan, error) {
+	if opts.PublishEvery < 0 {
+		return publishPlan{}, fmt.Errorf("%w: PublishEvery must be non-negative, got %d", core.ErrBadQuery, opts.PublishEvery)
+	}
+	pol := opts.Publish
+	if pol == PublishAuto {
+		switch {
+		case opts.PublishEvery > 0:
+			pol = PublishEveryR
+		case p == 1:
+			pol = PublishPerRound
+		default:
+			pol = PublishBoundCrossing
+		}
+	}
+	plan := publishPlan{policy: pol, every: opts.PublishEvery}
+	switch pol {
+	case PublishPerRound:
+		if opts.PublishEvery > 1 {
+			return publishPlan{}, fmt.Errorf("%w: PublishEvery %d conflicts with the per-round publish policy", core.ErrBadQuery, opts.PublishEvery)
+		}
+		plan.every = 1
+	case PublishEveryR:
+		if plan.every == 0 {
+			plan.every = 16
+		}
+	case PublishBoundCrossing:
+		if plan.every == 0 {
+			plan.every = 64
+		}
+	default:
+		return publishPlan{}, fmt.Errorf("%w: unknown publish policy %q", core.ErrBadQuery, pol)
+	}
+	return plan, nil
 }
 
 // Engine is a database partitioned for sharded querying. Partitioning
@@ -195,6 +278,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	}
 	if opts.NoRandomAccess {
 		return e.queryNRA(ctx, t, k, opts)
+	}
+	if opts.Publish != PublishAuto || opts.PublishEvery != 0 {
+		return nil, fmt.Errorf("%w: publish batching applies to the no-random-access mode; TA workers have no publish schedule to configure", core.ErrBadQuery)
 	}
 	p := len(e.shards)
 	coord := newCoordinator(k)

@@ -156,7 +156,41 @@ type Options struct {
 	// ShardWorkers bounds how many shard workers run concurrently when
 	// Shards > 1; 0 means one goroutine per shard.
 	ShardWorkers int
+	// Publish selects when sharded no-random-access workers publish their
+	// [W, B] interval views to the coordinator: PublishPerRound (strict;
+	// the single-shard default, preserving sequential NRA's exact access
+	// depth), PublishEveryR (every PublishEvery rounds), or
+	// PublishBoundCrossing (the multi-shard default: publish only when
+	// the worker's local bounds cross the published global M_k). The
+	// answer is identical under every policy — batching trades bounded
+	// per-worker overshoot for far fewer coordinator merges. Setting it
+	// without the no-random-access mode is rejected with ErrBadQuery.
+	Publish PublishPolicy
+	// PublishEvery tunes the selected publish policy's round interval
+	// (the R of PublishEveryR, default 16, or PublishBoundCrossing's
+	// safety valve, default 64); with the default policy a positive value
+	// selects PublishEveryR. Negative values are rejected with
+	// ErrBadQuery.
+	PublishEvery int
 }
+
+// PublishPolicy selects when sharded no-random-access workers publish to
+// the coordinator; see Options.Publish.
+type PublishPolicy = shard.PublishPolicy
+
+// Available publish policies.
+const (
+	// PublishAuto resolves to PublishPerRound for one shard and
+	// PublishBoundCrossing otherwise.
+	PublishAuto = shard.PublishAuto
+	// PublishPerRound publishes after every sorted-access round.
+	PublishPerRound = shard.PublishPerRound
+	// PublishEveryR publishes every Options.PublishEvery rounds.
+	PublishEveryR = shard.PublishEveryR
+	// PublishBoundCrossing publishes on local-bound crossings of the
+	// global M_k.
+	PublishBoundCrossing = shard.PublishBoundCrossing
+)
 
 // TopK returns the top k objects of db under t using TA with unit costs.
 func TopK(db *Database, t AggFunc, k int) (*Result, error) {
@@ -233,6 +267,8 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 		Workers:        opts.ShardWorkers,
 		Memoize:        opts.Memoize,
 		NoRandomAccess: noRandom,
+		Publish:        opts.Publish,
+		PublishEvery:   opts.PublishEvery,
 	})
 }
 
@@ -250,19 +286,34 @@ func normalizeCosts(c CostModel) (CostModel, error) {
 
 // prepare resolves Options into an algorithm and a fresh accounting Source.
 func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error) {
+	al, policy, err := resolve(db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return al, access.New(db, policy), nil
+}
+
+// resolve maps Options to an algorithm and access policy without binding
+// them to a Source — shared by the sequential path (which opens a fresh
+// Source over db) and the batch executor (which attaches the query to a
+// shared scan).
+func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) {
 	if db == nil {
-		return nil, nil, fmt.Errorf("repro: nil database")
+		return nil, access.Policy{}, fmt.Errorf("repro: nil database")
+	}
+	if opts.Publish != PublishAuto || opts.PublishEvery != 0 {
+		return nil, access.Policy{}, fmt.Errorf("%w: publish batching applies only to sharded no-random-access queries", ErrBadQuery)
 	}
 	costs, err := normalizeCosts(opts.Costs)
 	if err != nil {
-		return nil, nil, err
+		return nil, access.Policy{}, err
 	}
 	policy := access.Policy{NoRandom: opts.NoRandomAccess}
 	if len(opts.SortedLists) > 0 {
 		policy.SortedLists = make(map[int]bool, len(opts.SortedLists))
 		for _, i := range opts.SortedLists {
 			if i < 0 || i >= db.M() {
-				return nil, nil, fmt.Errorf("repro: sorted list index %d out of range [0,%d)", i, db.M())
+				return nil, access.Policy{}, fmt.Errorf("repro: sorted list index %d out of range [0,%d)", i, db.M())
 			}
 			policy.SortedLists[i] = true
 		}
@@ -290,7 +341,7 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 	case AlgoMaxTopK:
 		al = core.MaxTopK{}
 	default:
-		return nil, nil, fmt.Errorf("repro: unknown algorithm %q", name)
+		return nil, access.Policy{}, fmt.Errorf("repro: unknown algorithm %q", name)
 	}
-	return al, access.New(db, policy), nil
+	return al, policy, nil
 }

@@ -5,11 +5,13 @@
 # Usage: scripts/bench.sh [go-test-bench-regex]
 #
 # Writes BENCH_topk.json (one JSON object per line: benchmark name,
-# ns/op, custom metrics such as speedup-vs-P1) and the raw text output
+# ns/op, custom metrics such as speedup-vs-P1/speedup-vs-seq, plus a final
+# machine-readable speedup-summary object) and the raw text output
 # BENCH_topk.txt in the repository root. The default pattern covers every
-# benchmark, and the run fails if either sharded-engine benchmark
-# (BenchmarkShardedTA, BenchmarkShardedNRA) is missing from the output,
-# so the perf trajectory always tracks both sharded modes.
+# benchmark, and the run fails if any guarded concurrency benchmark
+# (BenchmarkShardedTA, BenchmarkShardedNRA, BenchmarkSharedScan) is
+# missing from the output, so the perf trajectory always tracks both
+# sharded modes and the shared-scan batch executor.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,7 +29,7 @@ go test -run '^$' -bench "$pattern" -benchmem . > BENCH_topk.txt 2>&1 || {
 cat BENCH_topk.txt
 
 if [ "$pattern" = "." ]; then
-    for required in BenchmarkShardedTA BenchmarkShardedNRA; do
+    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan; do
         if ! grep -q "^$required" BENCH_topk.txt; then
             echo "bench.sh: expected $required in the benchmark output" >&2
             exit 1
@@ -47,5 +49,25 @@ awk '
     print "}"
 }
 ' BENCH_topk.txt > BENCH_topk.json
+
+# Append one machine-readable summary object collecting the headline
+# concurrency metrics (sequential-relative speedups and the shared-scan
+# sharing factor) so dashboards can read a single line instead of
+# re-deriving them from the per-benchmark records.
+awk '
+/^Benchmark/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "speedup-vs-seq" || $(i + 1) == "speedup-vs-P1" || $(i + 1) == "scan-sharing") {
+            keys[++nk] = $1 ":" $(i + 1)
+            vals[nk] = $i
+        }
+    }
+}
+END {
+    printf "{\"summary\":\"concurrency-speedups\""
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
 
 echo "wrote BENCH_topk.txt and BENCH_topk.json" >&2
