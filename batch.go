@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/access"
+	"repro/internal/core"
 	"repro/internal/shard"
 )
 
@@ -18,9 +19,11 @@ type BatchResult struct {
 	// Scan is the shared scan's physical accounting: Sorted/PerList count
 	// entries actually pulled from the database (each list is scanned once,
 	// to the deepest consumer's depth, however many queries read it),
-	// Random counts the pass-through random probes, and MaxBuffered the
-	// entries the scan windows held. With Q similar queries Scan.Sorted
-	// sits near 1/Q of the summed per-query sorted accesses.
+	// Random counts the pass-through random probes, and MaxBuffered sums
+	// the per-list peak window lengths — an upper bound on simultaneous
+	// executor memory, bounded by the fastest-to-slowest consumer spread
+	// rather than the scan depth. With Q similar queries Scan.Sorted sits
+	// near 1/Q of the summed per-query sorted accesses.
 	Scan Stats
 }
 
@@ -51,6 +54,10 @@ func BatchQuery(db *Database, specs []QuerySpec, workers int) *BatchResult {
 			br.Outcomes[i].Err = fmt.Errorf("repro: query %d: %w: sharded specs do not compose with the shared scan; use ParallelQueries", i, ErrBadQuery)
 			continue
 		}
+		if specs[i].Opts.Backend != nil || specs[i].Opts.Cache != nil {
+			br.Outcomes[i].Err = fmt.Errorf("repro: query %d: %w: per-query backend stacks do not compose with the shared scan; use ParallelQueries", i, ErrBadQuery)
+			continue
+		}
 		valid = append(valid, i)
 	}
 	if len(valid) == 0 {
@@ -61,16 +68,33 @@ func BatchQuery(db *Database, specs []QuerySpec, workers int) *BatchResult {
 		lists[i] = db.List(i)
 	}
 	scan := access.NewSharedScan(lists)
+	// Attach every query before any worker starts consuming, so no query
+	// begins below an already-trimmed window; each worker releases its
+	// consumer as soon as its query finishes, letting the sliding windows
+	// trim past it instead of buffering to the deepest scan.
+	type attached struct {
+		algo    core.Algorithm
+		src     *access.Source
+		release func()
+	}
+	runs := make([]attached, len(valid))
+	for j, i := range valid {
+		al, policy, err := resolve(db, specs[i].Opts)
+		if err != nil {
+			br.Outcomes[i].Err = fmt.Errorf("repro: query %d: %w", i, err)
+			continue
+		}
+		src, release := scan.Attach(policy)
+		runs[j] = attached{algo: al, src: src, release: release}
+	}
 	shard.ForEach(len(valid), workers, func(j int) {
 		i := valid[j]
-		spec := specs[i]
-		res, err := func() (*Result, error) {
-			al, policy, err := resolve(db, spec.Opts)
-			if err != nil {
-				return nil, err
-			}
-			return al.Run(scan.Attach(policy), spec.Agg, spec.K)
-		}()
+		run := runs[j]
+		if run.algo == nil {
+			return // resolve already recorded the error
+		}
+		defer run.release()
+		res, err := run.algo.Run(run.src, specs[i].Agg, specs[i].K)
 		if err != nil {
 			err = fmt.Errorf("repro: query %d: %w", i, err)
 		}

@@ -479,6 +479,122 @@ func BenchmarkSharedScan(b *testing.B) {
 	b.ReportMetric(float64(indSorted)/float64(sharedSorted), "scan-sharing")
 }
 
+// remoteShardStack partitions db into p shards behind simulated remote
+// backends where shard 0 is the expensive straggler (factor× the unit
+// costs, cR = 8·cS), with an optional shared per-shard page cache and
+// per-access latency. Shard 0 is deliberately the *first* shard: a
+// cost-oblivious schedule that visits shards in index order pays the
+// straggler before any cheap evidence has raised M_k — the placement the
+// cost-aware scheduler is measured against.
+func remoteShardStack(b *testing.B, db *repro.Database, p int, factor float64, lat time.Duration, cached bool) *shard.Engine {
+	b.Helper()
+	dbs, err := db.Partition(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([]shard.ShardBackend, len(dbs))
+	for s, sdb := range dbs {
+		cm := access.CostModel{CS: 1, CR: 8}
+		var l access.Latency
+		if s == 0 {
+			cm.CS *= factor
+			cm.CR *= factor
+			// Only the straggler is slow: the latency skew the scheduler
+			// and cache are measured against.
+			l = access.Latency{Sorted: lat, Random: lat, Jitter: 0.3, Seed: uint64(s + 1)}
+		}
+		lists := make([]access.ListSource, sdb.M())
+		for i := range lists {
+			lists[i] = access.NewRemote(sdb.List(i), cm, l)
+		}
+		sb := shard.ShardBackend{DB: sdb, Lists: lists}
+		if cached {
+			c := access.NewCache(access.CacheConfig{})
+			sb.Lists = access.WrapLists(c, lists)
+			sb.Cache = c
+		}
+		shards[s] = sb
+	}
+	eng, err := shard.FromBackends(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkRemoteShards — the pluggable backend stack under a skewed
+// backend set: P=4 shards behind simulated remote backends where shard 0
+// is a 16× straggler, queried in the no-random-access mode. The charged
+// metrics compare the schedulers deterministically (one worker, so the
+// comparison never flakes on goroutine interleaving): charged-wave is the
+// cost-oblivious wave schedule visiting the straggler first, which runs it
+// deep while M_k is still low; charged-cost-aware defers it until the
+// cheap shards have raised M_k, and the benchmark fails unless that
+// reduces charged cost (cancel-savings is the ratio; the concurrent
+// default's charge lands between the two, depending on interleaving).
+// The timed loop then issues a repeated-query stream against one
+// persistent *cached* engine with real simulated latency; cache-hit-rate
+// reports the page cache's hit fraction over the stream — the latency and
+// charge the cache absorbed.
+func BenchmarkRemoteShards(b *testing.B) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 60000, M: 3, Seed: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	const p, k, factor = 4, 10, 16
+	charged := make(map[shard.Schedule]float64, 2)
+	for _, sched := range []shard.Schedule{shard.ScheduleWave, shard.ScheduleCostAware} {
+		eng := remoteShardStack(b, db, p, factor, 0, false)
+		res, err := eng.Query(tf, k, shard.Options{
+			NoRandomAccess: true, Workers: 1, Schedule: sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		charged[sched] = res.Stats.Charged()
+	}
+	if charged[shard.ScheduleCostAware] >= charged[shard.ScheduleWave] {
+		b.Fatalf("cost-aware scheduler charged %g, wave charged %g — no cancellation savings on the skewed backend set",
+			charged[shard.ScheduleCostAware], charged[shard.ScheduleWave])
+	}
+	cached := remoteShardStack(b, db, p, factor, time.Microsecond, true)
+	// One untimed warm-up fills the caches, so the timed loop measures the
+	// hot-shard repeated-query path (and the hit rate is meaningful even
+	// at a single timed iteration).
+	if _, err := cached.Query(tf, k, shard.Options{
+		NoRandomAccess: true, Schedule: shard.ScheduleCostAware,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cached.Query(tf, k, shard.Options{
+			NoRandomAccess: true, Schedule: shard.ScheduleCostAware,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Items) != k {
+			b.Fatalf("got %d items", len(res.Items))
+		}
+	}
+	b.StopTimer()
+	var hits, misses int64
+	for _, cs := range cached.CacheStats() {
+		hits += cs.Hits
+		misses += cs.Misses
+	}
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(charged[shard.ScheduleWave], "charged-wave")
+	b.ReportMetric(charged[shard.ScheduleCostAware], "charged-cost-aware")
+	b.ReportMetric(charged[shard.ScheduleWave]/charged[shard.ScheduleCostAware], "cancel-savings")
+	b.ReportMetric(rate, "cache-hit-rate")
+}
+
 // --- micro-benchmarks of the algorithms themselves ---
 
 func benchAlgo(b *testing.B, al core.Algorithm, pol access.Policy) {

@@ -10,6 +10,10 @@
 //	topk -data db.csv -agg avg -k 5 -theta 1.5
 //	topk -data db.csv -agg avg -k 10 -shards 4
 //	topk -data db.csv -agg avg -k 10 -shards 4 -no-random
+//	topk -data db.csv -agg avg -k 10 -shards -1 -no-random        (auto shard count)
+//	topk -data db.csv -agg avg -k 10 -shards 4 -no-random \
+//	     -remote -cs 1 -cr 8 -backend-latency 200us -backend-stragglers 1 \
+//	     -cache -schedule cost-aware                               (remote backend stack)
 package main
 
 import (
@@ -17,11 +21,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
 	"repro/internal/agg"
 	"repro/internal/model"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -34,10 +40,21 @@ func main() {
 		cr       = flag.Float64("cr", 1, "random access cost cR")
 		theta    = flag.Float64("theta", 0, "θ-approximation parameter (>1 enables TAθ)")
 		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
-		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (TA workers, or resumable NRA workers with -no-random; 0 = no sharding)")
+		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (TA workers, or resumable NRA workers with -no-random; 0 = no sharding, -1 = pick automatically from N, k and GOMAXPROCS)")
 		workers  = flag.Int("shard-workers", 0, "max concurrent shard workers (0 = one per shard)")
 		publish  = flag.String("publish", "", "sharded NRA publish policy: per-round|every-r|bound-crossing (default: per-round at P=1, bound-crossing otherwise)")
 		publishR = flag.Int("publish-every", 0, "publish interval in rounds for every-r (default 16) or the bound-crossing safety valve (default 64)")
+
+		remote     = flag.Bool("remote", false, "simulate remote backends: every access is charged -cs/-cr and delayed per -backend-latency")
+		latency    = flag.Duration("backend-latency", 0, "base simulated latency per backend access (with -remote)")
+		jitter     = flag.Float64("backend-jitter", 0, "latency jitter fraction in [0,1] (with -remote)")
+		stragglers = flag.Int("backend-stragglers", 0, "number of highest-index shards whose backend costs/latency are stretched by -straggler-factor")
+		stragglerF = flag.Float64("straggler-factor", 0, "cost/latency multiplier for straggler shards (default 8)")
+		useCache   = flag.Bool("cache", false, "insert a per-shard page cache + random-access memo above the backends")
+		cachePages = flag.Int("cache-pages", 0, "page-cache capacity in pages (default 256)")
+		pageSize   = flag.Int("cache-page-size", 0, "entries per cached page (default 64)")
+		cacheMemo  = flag.Int("cache-memo", 0, "random-access memo capacity in grades (default 4096)")
+		schedule   = flag.String("schedule", "", "sharded NRA scheduling policy: wave|cost-aware (default wave)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -58,16 +75,72 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := repro.Query(db, t, *k, repro.Options{
+	var backendSpec *repro.BackendSpec
+	if *remote {
+		backendSpec = &repro.BackendSpec{
+			SortedCost:      *cs,
+			RandomCost:      *cr,
+			Latency:         *latency,
+			Jitter:          *jitter,
+			StragglerShards: *stragglers,
+			StragglerFactor: *stragglerF,
+		}
+	}
+	var cacheSpec *repro.CacheSpec
+	if *useCache {
+		cacheSpec = &repro.CacheSpec{PageSize: *pageSize, Pages: *cachePages, Memo: *cacheMemo}
+	}
+	// Resolve the shard count once: the engine build, the query and the
+	// banner must all agree on it.
+	p := *shards
+	if p == repro.AutoShards {
+		p = shard.AutoShards(db.N(), *k, runtime.GOMAXPROCS(0))
+	}
+	opts := repro.Options{
 		Algorithm:      repro.AlgorithmName(normalizeAlgo(*algo)),
 		Costs:          repro.CostModel{CS: *cs, CR: *cr},
 		Theta:          *theta,
 		NoRandomAccess: *noRandom,
-		Shards:         *shards,
+		Shards:         p,
 		ShardWorkers:   *workers,
 		Publish:        repro.PublishPolicy(*publish),
 		PublishEvery:   *publishR,
-	})
+		Backend:        backendSpec,
+		Cache:          cacheSpec,
+		Schedule:       repro.Schedule(*schedule),
+	}
+	var res *repro.Result
+	var eng *repro.Sharded
+	if cacheSpec != nil && p != 0 {
+		// Build the engine by hand so the per-shard cache statistics can
+		// be reported after the query — enforcing the same option rules
+		// the repro.Query path applies.
+		engineAlgo := normalizeAlgo(*algo)
+		switch engineAlgo {
+		case "", string(repro.AlgoTA), string(repro.AlgoNRA):
+		default:
+			fatal(fmt.Errorf("sharding supports only the TA and NRA algorithms, got %q", *algo))
+		}
+		if engineAlgo == string(repro.AlgoTA) && *noRandom {
+			fatal(fmt.Errorf("TA needs random access; drop -no-random or use -algo NRA"))
+		}
+		if *theta != 0 {
+			fatal(fmt.Errorf("sharding computes exact answers; -theta is not supported"))
+		}
+		eng, err = repro.NewShardedStack(db, p, backendSpec, cacheSpec)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = eng.Query(t, *k, repro.ShardOptions{
+			Workers:        *workers,
+			NoRandomAccess: *noRandom || engineAlgo == string(repro.AlgoNRA),
+			Publish:        repro.PublishPolicy(*publish),
+			PublishEvery:   *publishR,
+			Schedule:       repro.Schedule(*schedule),
+		})
+	} else {
+		res, err = repro.Query(db, t, *k, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -78,12 +151,16 @@ func main() {
 			engine = string(repro.AlgoNRA)
 		}
 	}
-	if *shards >= 1 {
+	if p >= 1 {
 		worker := "TA"
 		if *noRandom || engine == string(repro.AlgoNRA) {
 			worker = "NRA"
 		}
-		engine = fmt.Sprintf("sharded %s, P=%d", worker, *shards)
+		if *shards == repro.AutoShards {
+			engine = fmt.Sprintf("sharded %s, P=auto(%d)", worker, p)
+		} else {
+			engine = fmt.Sprintf("sharded %s, P=%d", worker, p)
+		}
 	}
 	fmt.Printf("top %d under %s (%s, N=%d, m=%d):\n", *k, *aggName, engine, db.N(), db.M())
 	for i, it := range res.Items {
@@ -96,6 +173,26 @@ func main() {
 	cm := repro.CostModel{CS: *cs, CR: *cr}
 	fmt.Printf("accesses: %d sorted, %d random; middleware cost %.6g (cS=%g, cR=%g)\n",
 		res.Stats.Sorted, res.Stats.Random, res.Cost(cm), *cs, *cr)
+	if *remote || *useCache {
+		fmt.Printf("charged by backends: %.6g sorted + %.6g random = %.6g\n",
+			res.Stats.ChargedSorted, res.Stats.ChargedRandom, res.Stats.Charged())
+	}
+	if eng != nil {
+		var hits, misses, probeHits, probeMisses int64
+		for _, cs := range eng.CacheStats() {
+			hits += cs.Hits
+			misses += cs.Misses
+			probeHits += cs.ProbeHits
+			probeMisses += cs.ProbeMisses
+		}
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(hits) / float64(total)
+		}
+		fmt.Printf("cache: %d/%d sorted hits (%.1f%%), %d/%d probe hits\n",
+			hits, total, 100*rate, probeHits, probeHits+probeMisses)
+	}
 	if res.Theta > 1 {
 		fmt.Printf("approximation guarantee: θ = %.4g\n", res.Theta)
 	}

@@ -5,6 +5,15 @@
 // the cost model, per-run accounting, capability policies (random access
 // impossible, sorted access restricted to a subset Z of lists), and
 // simulated subsystems standing in for the paper's QBIC/web sources.
+//
+// Costs are per backend, the way the paper's middleware sees them: a
+// Backend declares what each of its accesses bills (AccessCosts; plain
+// lists default to the global unit model), a CostedList prices each access
+// individually (a Cache charges misses the wrapped backend's cost and hits
+// nothing), and Stats accumulates both the raw access counts and the
+// charged totals. Under uniform unit-cost backends the two coincide —
+// Charged() == Accesses() — so the paper's count-based accounting is the
+// special case of the charged one.
 package access
 
 import (
@@ -52,6 +61,16 @@ type Stats struct {
 	Random  int64   // total random accesses
 	PerList []int64 // sorted-access depth reached in each list
 
+	// ChargedSorted and ChargedRandom are the middleware costs the run's
+	// backends actually billed: each access is charged its list's declared
+	// cost model (Backend.AccessCosts; UnitCosts for plain lists), and a
+	// middleware layer that absorbs an access — a cache hit — charges
+	// nothing (CostedList). Under uniform unit-cost lists ChargedSorted
+	// equals Sorted and ChargedRandom equals Random, so the paper's
+	// count-based accounting is the special case.
+	ChargedSorted float64
+	ChargedRandom float64
+
 	WildGuesses int64 // random accesses to objects never seen under sorted access
 
 	MaxBuffered     int   // peak number of objects the algorithm retained
@@ -71,6 +90,12 @@ func (s Stats) Depth() int64 {
 
 // Accesses returns the total number of accesses of both kinds.
 func (s Stats) Accesses() int64 { return s.Sorted + s.Random }
+
+// Charged returns the total middleware cost the run's backends billed —
+// the heterogeneous-cost generalization of CostModel.Cost, which prices
+// every access identically. With uniform unit-cost backends and no cache,
+// Charged equals Accesses.
+func (s Stats) Charged() float64 { return s.ChargedSorted + s.ChargedRandom }
 
 // Policy declares which access modes are available, modelling the paper's
 // restricted scenarios. Zero value: everything allowed.
@@ -136,7 +161,9 @@ func (v Violation) Error() string {
 // algorithm in internal/core runs against a Source and nothing else.
 type Source struct {
 	lists  []ListSource
-	pos    []int // next unread sorted position per list
+	costed []CostedList // non-nil where lists[i] reports per-access costs
+	costs  []CostModel  // per-list declared cost model (UnitCosts default)
+	pos    []int        // next unread sorted position per list
 	policy Policy
 	stats  Stats
 
@@ -165,13 +192,22 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 			panic(fmt.Sprintf("access: list %d has %d entries, want %d", i, l.Len(), n))
 		}
 	}
-	return &Source{
+	s := &Source{
 		lists:      lists,
+		costed:     make([]CostedList, len(lists)),
+		costs:      make([]CostModel, len(lists)),
 		pos:        make([]int, len(lists)),
 		policy:     policy,
 		stats:      Stats{PerList: make([]int64, len(lists))},
 		seenSorted: make(map[model.ObjectID]bool),
 	}
+	for i, l := range lists {
+		s.costs[i] = BackendCosts(l)
+		if cl, ok := l.(CostedList); ok {
+			s.costed[i] = cl
+		}
+	}
+	return s
 }
 
 // M returns the number of lists.
@@ -203,7 +239,14 @@ func (s *Source) SortedNext(i int) (e model.Entry, ok bool) {
 		}
 		return model.Entry{}, false
 	}
-	e = s.lists[i].At(s.pos[i])
+	if cl := s.costed[i]; cl != nil {
+		var cost float64
+		e, cost = cl.AtCost(s.pos[i])
+		s.stats.ChargedSorted += cost
+	} else {
+		e = s.lists[i].At(s.pos[i])
+		s.stats.ChargedSorted += s.costs[i].CS
+	}
 	s.pos[i]++
 	s.stats.Sorted++
 	s.stats.PerList[i]++
@@ -223,7 +266,13 @@ func (s *Source) Random(i int, obj model.ObjectID) (g model.Grade, ok bool) {
 	if !s.policy.CanRandom(i) {
 		panic(Violation{Op: "random", List: i})
 	}
-	g, ok = s.lists[i].GradeOf(obj)
+	var cost float64
+	if cl := s.costed[i]; cl != nil {
+		g, ok, cost = cl.GradeOfCost(obj)
+	} else {
+		g, ok = s.lists[i].GradeOf(obj)
+		cost = s.costs[i].CR
+	}
 	if !ok {
 		if s.trace != nil {
 			s.trace.Entries = append(s.trace.Entries, TraceEntry{List: i, Object: obj})
@@ -231,6 +280,7 @@ func (s *Source) Random(i int, obj model.ObjectID) (g model.Grade, ok bool) {
 		return 0, false
 	}
 	s.stats.Random++
+	s.stats.ChargedRandom += cost
 	if !s.seenSorted[obj] {
 		s.stats.WildGuesses++
 	}
@@ -259,6 +309,20 @@ func (s *Source) CountBoundRecompute(n int64) { s.stats.BoundRecomputes += n }
 // hot path).
 func (s *Source) Counts() (sorted, random int64) {
 	return s.stats.Sorted, s.stats.Random
+}
+
+// SortedRoundCost returns the declared cost of one parallel sorted-access
+// round — Σ cS over the lists the policy permits sorted access on. It is
+// the expected per-round charge a scheduler weighs a resume against; a
+// cache above a backend may bill less, never more.
+func (s *Source) SortedRoundCost() float64 {
+	var c float64
+	for i := range s.lists {
+		if s.policy.CanSorted(i) {
+			c += s.costs[i].CS
+		}
+	}
+	return c
 }
 
 // Stats returns a copy of the accumulated accounting.

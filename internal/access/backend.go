@@ -1,0 +1,152 @@
+package access
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Backend is a ListSource that also declares what each of its accesses
+// costs the middleware — the paper's per-subsystem cS/cR, made explicit so
+// heterogeneous sources (a fast local index next to a slow web subsystem)
+// can sit behind one query. Plain ListSources that do not implement Backend
+// are charged UnitCosts.
+type Backend interface {
+	ListSource
+	// AccessCosts returns the backend's declared cost model: CS is charged
+	// per sorted access and CR per random access served by this backend.
+	AccessCosts() CostModel
+}
+
+// BackendCosts returns l's declared cost model when l is a Backend and
+// UnitCosts otherwise — the rule every accounting layer uses, so a plain
+// model.List keeps the paper's cS = cR = 1 accounting unchanged.
+func BackendCosts(l ListSource) CostModel {
+	if b, ok := l.(Backend); ok {
+		return b.AccessCosts()
+	}
+	return UnitCosts
+}
+
+// CostedList is a ListSource whose accesses carry an individual charged
+// cost instead of a flat per-backend one. A cache layer implements it: a
+// hit costs the middleware nothing, a miss costs the wrapped backend's
+// declared access cost. Sources prefer these methods over At/GradeOf when
+// available, so per-query Stats charge exactly what the backends behind
+// any middleware layers actually billed.
+type CostedList interface {
+	ListSource
+	// AtCost is At plus the charged cost of this particular access.
+	AtCost(pos int) (model.Entry, float64)
+	// GradeOfCost is GradeOf plus the charged cost of this access.
+	GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64)
+}
+
+// Latency describes a simulated access-latency distribution for a Remote
+// backend. All fields are optional; the zero value injects no latency.
+type Latency struct {
+	// Sorted and Random are the base latencies of one sorted / random
+	// access. Zero disables sleeping for that access kind.
+	Sorted time.Duration
+	Random time.Duration
+	// Jitter spreads each access latency uniformly over
+	// base·[1−Jitter, 1+Jitter] (0 ≤ Jitter ≤ 1), deterministically from
+	// Seed and the access sequence number.
+	Jitter float64
+	// StragglerEvery makes every n-th access a straggler whose latency is
+	// multiplied by StragglerFactor (default 10). Zero disables stragglers.
+	StragglerEvery  int
+	StragglerFactor float64
+	// Seed makes the jitter sequence reproducible.
+	Seed uint64
+}
+
+// Remote wraps a ListSource as a simulated remote backend: every access is
+// charged the declared cost model and sleeps per the latency distribution,
+// standing in for the paper's autonomous subsystems (QBIC, web sources)
+// whose access costs differ by orders of magnitude. It is safe for
+// concurrent use whenever the wrapped source is.
+type Remote struct {
+	src   ListSource
+	costs CostModel
+	lat   Latency
+
+	seq     atomic.Uint64 // access sequence number (jitter/straggler schedule)
+	sleptNS atomic.Int64  // total injected latency
+}
+
+// NewRemote wraps src with the given cost model and latency distribution.
+// A zero cost model means unit costs.
+func NewRemote(src ListSource, costs CostModel, lat Latency) *Remote {
+	if costs.CS == 0 && costs.CR == 0 {
+		costs = UnitCosts
+	}
+	return &Remote{src: src, costs: costs, lat: lat}
+}
+
+// Len implements ListSource; length is metadata, not an access, so it is
+// neither charged nor delayed.
+func (r *Remote) Len() int { return r.src.Len() }
+
+// At implements ListSource, sleeping per the sorted-access latency.
+func (r *Remote) At(pos int) model.Entry {
+	r.delay(r.lat.Sorted)
+	return r.src.At(pos)
+}
+
+// GradeOf implements ListSource, sleeping per the random-access latency.
+func (r *Remote) GradeOf(obj model.ObjectID) (model.Grade, bool) {
+	r.delay(r.lat.Random)
+	return r.src.GradeOf(obj)
+}
+
+// AccessCosts implements Backend.
+func (r *Remote) AccessCosts() CostModel { return r.costs }
+
+// SimulatedLatency returns the total latency injected so far.
+func (r *Remote) SimulatedLatency() time.Duration {
+	return time.Duration(r.sleptNS.Load())
+}
+
+// delay sleeps for one access: base latency, spread by the jitter
+// distribution, stretched on straggler accesses.
+func (r *Remote) delay(base time.Duration) {
+	if base <= 0 {
+		return
+	}
+	n := r.seq.Add(1)
+	d := float64(base)
+	if r.lat.Jitter > 0 {
+		u := unitFloat(splitmix64(r.lat.Seed + n))
+		d *= 1 + r.lat.Jitter*(2*u-1)
+	}
+	if r.lat.StragglerEvery > 0 && n%uint64(r.lat.StragglerEvery) == 0 {
+		f := r.lat.StragglerFactor
+		if f <= 0 {
+			f = 10
+		}
+		d *= f
+	}
+	dur := time.Duration(d)
+	if dur <= 0 {
+		return
+	}
+	r.sleptNS.Add(int64(dur))
+	time.Sleep(dur)
+}
+
+// splitmix64 is the SplitMix64 mixer — a tiny, allocation-free way to turn
+// (seed, sequence-number) into reproducible jitter without a locked
+// rand.Rand shared across goroutines.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a 64-bit hash to [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,111 @@
+package access
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChargedCostsDefaultToUnit checks that plain model lists keep the
+// paper's count-based accounting: charged totals equal access counts.
+func TestChargedCostsDefaultToUnit(t *testing.T) {
+	db := testDB(t)
+	src := New(db, AllowAll)
+	for i := 0; i < db.M(); i++ {
+		src.SortedNext(i)
+		src.SortedNext(i)
+	}
+	src.Random(0, 1)
+	st := src.Stats()
+	if st.ChargedSorted != float64(st.Sorted) || st.ChargedRandom != float64(st.Random) {
+		t.Fatalf("unit-cost charging diverged from counts: %+v", st)
+	}
+	if st.Charged() != float64(st.Accesses()) {
+		t.Fatalf("Charged() = %g, want %d", st.Charged(), st.Accesses())
+	}
+}
+
+// TestChargedCostsPerBackend checks that a Source over heterogeneous
+// backends charges each access its own backend's declared costs.
+func TestChargedCostsPerBackend(t *testing.T) {
+	db := testDB(t)
+	cheap := NewGradedSubsystem("cheap", db.List(0), 2) // unit costs
+	dear := NewGradedSubsystem("dear", db.List(1), 2).WithCosts(CostModel{CS: 3, CR: 10})
+	src := FromLists([]ListSource{cheap, dear}, AllowAll)
+	src.SortedNext(0) // 1
+	src.SortedNext(1) // 3
+	src.SortedNext(1) // 3
+	src.Random(0, 1)  // 1
+	src.Random(1, 1)  // 10
+	st := src.Stats()
+	if st.ChargedSorted != 7 {
+		t.Fatalf("ChargedSorted = %g, want 7", st.ChargedSorted)
+	}
+	if st.ChargedRandom != 11 {
+		t.Fatalf("ChargedRandom = %g, want 11", st.ChargedRandom)
+	}
+	if got := src.SortedRoundCost(); got != 4 {
+		t.Fatalf("SortedRoundCost = %g, want 1+3", got)
+	}
+}
+
+// TestRemoteBackend checks cost declaration, latency injection and the
+// deterministic straggler schedule.
+func TestRemoteBackend(t *testing.T) {
+	db := testDB(t)
+	r := NewRemote(db.List(0), CostModel{CS: 2, CR: 5}, Latency{
+		Sorted:          50 * time.Microsecond,
+		Jitter:          0.5,
+		StragglerEvery:  3,
+		StragglerFactor: 4,
+		Seed:            7,
+	})
+	if r.AccessCosts() != (CostModel{CS: 2, CR: 5}) {
+		t.Fatalf("AccessCosts = %+v", r.AccessCosts())
+	}
+	if r.Len() != db.N() {
+		t.Fatalf("Len = %d, want %d", r.Len(), db.N())
+	}
+	want := db.List(0).At(0)
+	if got := r.At(0); got != want {
+		t.Fatalf("At(0) = %v, want %v", got, want)
+	}
+	for i := 1; i < db.N(); i++ {
+		r.At(i)
+	}
+	slept := r.SimulatedLatency()
+	// Base latency alone would be N×50µs; jitter keeps each access within
+	// [25µs, 75µs] and every third access is stretched 4×.
+	min := time.Duration(db.N()) * 25 * time.Microsecond
+	if slept < min {
+		t.Fatalf("SimulatedLatency = %v, want at least %v", slept, min)
+	}
+	// Zero-latency remotes must not sleep or accumulate.
+	fast := NewRemote(db.List(0), CostModel{}, Latency{})
+	fast.At(0)
+	if fast.SimulatedLatency() != 0 {
+		t.Fatalf("zero-latency remote slept %v", fast.SimulatedLatency())
+	}
+	if fast.AccessCosts() != UnitCosts {
+		t.Fatalf("zero cost model should default to unit costs, got %+v", fast.AccessCosts())
+	}
+}
+
+// TestRemoteThroughSource checks that the accounting Source charges a
+// Remote backend's declared costs.
+func TestRemoteThroughSource(t *testing.T) {
+	db := testDB(t)
+	lists := make([]ListSource, db.M())
+	for i := range lists {
+		lists[i] = NewRemote(db.List(i), CostModel{CS: 4, CR: 9}, Latency{})
+	}
+	src := FromLists(lists, AllowAll)
+	src.SortedNext(0)
+	src.Random(1, 1)
+	st := src.Stats()
+	if st.ChargedSorted != 4 || st.ChargedRandom != 9 {
+		t.Fatalf("charged = (%g, %g), want (4, 9)", st.ChargedSorted, st.ChargedRandom)
+	}
+	if st.Charged() != 13 {
+		t.Fatalf("Charged = %g, want 13", st.Charged())
+	}
+}

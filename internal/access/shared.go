@@ -16,6 +16,17 @@ import (
 // lists therefore cost the subsystem m scans (to the deepest consumer's
 // depth) instead of Q·m: the batch executor's whole point.
 //
+// The window is a sliding ring, not a growing buffer: every attached
+// consumer's read position is tracked, and entries below the slowest live
+// consumer are trimmed as soon as that consumer advances (sorted cursors
+// only move forward, so a trimmed entry can never be re-read by a live
+// consumer). Peak window memory is therefore bounded by the spread between
+// the fastest and slowest live consumer, not by the deepest scan — the
+// difference that matters on straggler-heavy batches. Releasing a finished
+// consumer (the func Attach returns) lets the window slide past it; a
+// consumer attached after trimming re-fetches below-window positions
+// straight from the source, counted as extra physical accesses.
+//
 // Random accesses are not shared: each query's probes pass through (and are
 // counted) individually, since which objects a query probes depends on its
 // own algorithm and aggregation.
@@ -24,6 +35,8 @@ import (
 // goroutines; each attached Source itself still serves one query at a time,
 // as always.
 type SharedScan struct {
+	mu     sync.Mutex
+	nextID int
 	shared []*sharedList
 }
 
@@ -39,65 +52,160 @@ func NewSharedScan(lists []ListSource) *SharedScan {
 		if l.Len() != n {
 			panic(fmt.Sprintf("access: list %d has %d entries, want %d", i, l.Len(), n))
 		}
-		ss.shared[i] = &sharedList{src: l}
+		ss.shared[i] = &sharedList{src: l, consumers: make(map[int]int)}
 	}
 	return ss
 }
 
 // Attach returns a fresh accounting Source over the shared lists under the
-// given policy. Every sorted access the Source performs is served from the
-// shared windows; its Stats record the query's logical consumption exactly
-// as an unshared Source would.
-func (ss *SharedScan) Attach(policy Policy) *Source {
+// given policy, plus a release func that marks the consumer finished. Every
+// sorted access the Source performs is served from the shared windows; its
+// Stats record the query's logical consumption exactly as an unshared
+// Source would. Call release once the query is done — an unreleased
+// consumer pins the windows at its last read position forever. Release is
+// idempotent.
+func (ss *SharedScan) Attach(policy Policy) (*Source, func()) {
+	ss.mu.Lock()
+	id := ss.nextID
+	ss.nextID++
+	ss.mu.Unlock()
 	lists := make([]ListSource, len(ss.shared))
 	for i, l := range ss.shared {
-		lists[i] = l
+		l.attach(id)
+		lists[i] = &consumerView{l: l, id: id}
 	}
-	return FromLists(lists, policy)
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			for _, l := range ss.shared {
+				l.detach(id)
+			}
+		})
+	}
+	return FromLists(lists, policy), release
 }
 
 // Stats returns the executor-level physical accounting: Sorted and PerList
 // count the entries actually pulled from each underlying list (the deepest
-// attached consumer's depth, not the per-query sum), Random counts the
-// pass-through random probes, and MaxBuffered is the total number of
-// entries the scan windows held.
+// attached consumer's depth plus any below-window re-fetches), Random
+// counts the pass-through random probes, and MaxBuffered sums each list
+// window's own peak length. Windows peak at different times, so the sum is
+// an upper bound on — not necessarily equal to — the largest number of
+// entries simultaneously held, the same summation semantics the sharded
+// engine uses for per-worker buffers.
 func (ss *SharedScan) Stats() Stats {
 	st := Stats{PerList: make([]int64, len(ss.shared))}
 	for i, l := range ss.shared {
-		fetched, random := l.counts()
+		fetched, random, peak := l.counts()
 		st.PerList[i] = fetched
 		st.Sorted += fetched
 		st.Random += random
-		st.MaxBuffered += int(fetched)
+		st.MaxBuffered += peak
 	}
 	return st
 }
 
-// sharedList adapts one underlying list into a ListSource whose positional
-// reads are filled once and then served to every consumer from a window.
-type sharedList struct {
-	mu     sync.Mutex
-	src    ListSource
-	buf    []model.Entry // the scan window: positions [0, len(buf)) fetched so far
-	random int64         // pass-through random probes
+// PeakWindow returns the largest number of entries any single list's
+// window held at once — the executor-memory bound the sliding ring
+// enforces.
+func (ss *SharedScan) PeakWindow() int {
+	peak := 0
+	for _, l := range ss.shared {
+		_, _, p := l.counts()
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
 }
 
-func (l *sharedList) Len() int { return l.src.Len() }
+// sharedList adapts one underlying list into a sliding window every
+// consumer reads through.
+type sharedList struct {
+	mu        sync.Mutex
+	src       ListSource
+	base      int           // absolute position of buf[0]
+	buf       []model.Entry // the window: absolute positions [base, base+len(buf))
+	consumers map[int]int   // live consumer id → next unread position
+	fetched   int64         // physical entries pulled (window fills + re-fetches)
+	random    int64         // pass-through random probes
+	peak      int           // peak window length
+}
 
-// At serves position pos from the window, extending the physical scan only
-// when pos is beyond everything fetched so far.
-func (l *sharedList) At(pos int) model.Entry {
+func (l *sharedList) attach(id int) {
 	l.mu.Lock()
-	for pos >= len(l.buf) {
-		l.buf = append(l.buf, l.src.At(len(l.buf)))
+	l.consumers[id] = 0
+	l.mu.Unlock()
+}
+
+func (l *sharedList) detach(id int) {
+	l.mu.Lock()
+	delete(l.consumers, id)
+	l.trimLocked()
+	l.mu.Unlock()
+}
+
+// at serves consumer id's read of absolute position pos, extending the
+// window as needed and sliding it past the slowest live consumer.
+func (l *sharedList) at(id, pos int) model.Entry {
+	l.mu.Lock()
+	if pos < l.base {
+		// The window already slid past pos (this consumer attached after
+		// trimming): serve straight from the source, one extra physical
+		// access.
+		e := l.src.At(pos)
+		l.fetched++
+		l.advanceLocked(id, pos)
+		l.mu.Unlock()
+		return e
 	}
-	e := l.buf[pos]
+	for pos >= l.base+len(l.buf) {
+		l.buf = append(l.buf, l.src.At(l.base+len(l.buf)))
+		l.fetched++
+	}
+	if len(l.buf) > l.peak {
+		l.peak = len(l.buf)
+	}
+	e := l.buf[pos-l.base]
+	l.advanceLocked(id, pos)
+	l.trimLocked()
 	l.mu.Unlock()
 	return e
 }
 
-// GradeOf passes a random probe through to the underlying list, counting it.
-func (l *sharedList) GradeOf(obj model.ObjectID) (model.Grade, bool) {
+// advanceLocked records that consumer id has consumed position pos.
+func (l *sharedList) advanceLocked(id, pos int) {
+	if next, ok := l.consumers[id]; ok && pos+1 > next {
+		l.consumers[id] = pos + 1
+	}
+}
+
+// trimLocked drops window entries below the slowest live consumer's next
+// read. The entries are copied down in place so the backing array's
+// capacity stays bounded by the peak window, not the scan depth.
+func (l *sharedList) trimLocked() {
+	if len(l.buf) == 0 {
+		return
+	}
+	min := l.base + len(l.buf)
+	for _, next := range l.consumers {
+		if next < min {
+			min = next
+		}
+	}
+	drop := min - l.base
+	if drop <= 0 {
+		return
+	}
+	if drop > len(l.buf) {
+		drop = len(l.buf)
+	}
+	n := copy(l.buf, l.buf[drop:])
+	l.buf = l.buf[:n]
+	l.base += drop
+}
+
+func (l *sharedList) gradeOf(obj model.ObjectID) (model.Grade, bool) {
 	g, ok := l.src.GradeOf(obj)
 	if ok {
 		l.mu.Lock()
@@ -107,8 +215,26 @@ func (l *sharedList) GradeOf(obj model.ObjectID) (model.Grade, bool) {
 	return g, ok
 }
 
-func (l *sharedList) counts() (fetched, random int64) {
+func (l *sharedList) counts() (fetched, random int64, peak int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return int64(len(l.buf)), l.random
+	return l.fetched, l.random, l.peak
 }
+
+// consumerView is one consumer's identity-carrying handle on a sharedList;
+// it is what the consumer's Source reads through, so the window knows
+// which cursor advanced.
+type consumerView struct {
+	l  *sharedList
+	id int
+}
+
+func (v *consumerView) Len() int               { return v.l.src.Len() }
+func (v *consumerView) At(pos int) model.Entry { return v.l.at(v.id, pos) }
+func (v *consumerView) GradeOf(obj model.ObjectID) (model.Grade, bool) {
+	return v.l.gradeOf(obj)
+}
+
+// AccessCosts implements Backend when the underlying list declares costs,
+// so charged accounting flows through the shared scan unchanged.
+func (v *consumerView) AccessCosts() CostModel { return BackendCosts(v.l.src) }

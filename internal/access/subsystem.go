@@ -18,13 +18,15 @@ import (
 // GradedSubsystem simulates a remote subsystem (QBIC-style) serving one
 // graded set: it answers sorted access in batches (the "give me the next 10"
 // interaction from Section 2) and optionally supports random probes. It
-// satisfies ListSource; the batch machinery and counters model the
-// subsystem-side behaviour without changing middleware-cost accounting
-// (the paper charges per item regardless of batching).
+// satisfies Backend — WithCosts declares what each access bills the
+// middleware (unit costs by default); the batch machinery and counters
+// model the subsystem-side behaviour without changing middleware-cost
+// accounting (the paper charges per item regardless of batching).
 type GradedSubsystem struct {
 	name      string
 	list      *model.List
 	batchSize int
+	costs     CostModel
 	noProbe   bool // subsystem refuses random probes (search-engine style)
 
 	mu           sync.Mutex
@@ -40,8 +42,22 @@ func NewGradedSubsystem(name string, list *model.List, batchSize int) *GradedSub
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	return &GradedSubsystem{name: name, list: list, batchSize: batchSize}
+	return &GradedSubsystem{name: name, list: list, batchSize: batchSize, costs: UnitCosts}
 }
+
+// WithCosts declares the subsystem's per-access cost model — the paper's
+// per-subsystem cS/cR, e.g. a web source whose random probes cost far more
+// than its sorted reads.
+func (g *GradedSubsystem) WithCosts(cm CostModel) *GradedSubsystem {
+	if cm.CS == 0 && cm.CR == 0 {
+		cm = UnitCosts
+	}
+	g.costs = cm
+	return g
+}
+
+// AccessCosts implements Backend.
+func (g *GradedSubsystem) AccessCosts() CostModel { return g.costs }
 
 // DisableProbes makes the subsystem refuse random access, modelling the
 // Section 2 search-engine scenario at the subsystem (rather than policy)
@@ -100,6 +116,15 @@ func (g *GradedSubsystem) BatchesSent() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.batchesSent
+}
+
+// ItemsSent reports how many sorted items the simulated remote side
+// shipped in total — the physical sorted-access truth cache-correctness
+// tests compare cached and uncached stacks against.
+func (g *GradedSubsystem) ItemsSent() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.itemsSent
 }
 
 // ProbesServed reports how many random probes the subsystem answered.

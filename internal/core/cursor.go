@@ -119,6 +119,13 @@ func (c *NRACursor) Exhausted() bool { return c.exhausted }
 // Depth returns the number of completed sorted-access rounds.
 func (c *NRACursor) Depth() int { return c.tb.depth }
 
+// StepCost returns the declared middleware cost of one more Step — the sum
+// of the source's per-backend sorted-access costs over all lists. A
+// latency-aware scheduler weighs a shard's resume against this: with
+// heterogeneous backends, pushing a cheap shard one round deeper can buy
+// the same bound-tightening for a fraction of a slow subsystem's charge.
+func (c *NRACursor) StepCost() float64 { return c.src.SortedRoundCost() }
+
 // Threshold returns τ, the best possible grade of an unseen object.
 func (c *NRACursor) Threshold() model.Grade { return c.tb.threshold() }
 

@@ -1,0 +1,42 @@
+package shard
+
+import "testing"
+
+func TestAutoShards(t *testing.T) {
+	cases := []struct {
+		name              string
+		n, k, procs, want int
+	}{
+		{"small database stays unsharded", 1000, 10, 8, 1},
+		{"just under one extra shard", 8191, 10, 8, 1},
+		{"two shards once both keep 4096 objects", 8192, 10, 8, 2},
+		{"large database saturates the cores", 1 << 20, 10, 8, 8},
+		{"large k raises the per-shard floor", 1 << 20, 1000, 8, 8},
+		{"very large k needs 64k objects per shard", 1 << 20, 10000, 8, 1},
+		{"single core never shards", 1 << 20, 10, 1, 1},
+		{"zero procs clamps to one", 1 << 20, 10, 0, 1},
+		{"zero k clamps to one", 1 << 20, 0, 4, 4},
+		{"empty database", 0, 10, 8, 1},
+	}
+	for _, c := range cases {
+		if got := AutoShards(c.n, c.k, c.procs); got != c.want {
+			t.Errorf("%s: AutoShards(%d, %d, %d) = %d, want %d", c.name, c.n, c.k, c.procs, got, c.want)
+		}
+	}
+	// Monotone in n, bounded by procs, and the per-shard floor holds.
+	const k, procs = 10, 16
+	prev := 0
+	for n := 0; n <= 1<<21; n += 1 << 15 {
+		p := AutoShards(n, k, procs)
+		if p < prev {
+			t.Fatalf("AutoShards not monotone in n: P(%d)=%d after %d", n, p, prev)
+		}
+		if p > procs {
+			t.Fatalf("AutoShards(%d) = %d exceeds procs %d", n, p, procs)
+		}
+		if p > 1 && n/p < 4096 {
+			t.Fatalf("AutoShards(%d) = %d leaves only %d objects per shard", n, p, n/p)
+		}
+		prev = p
+	}
+}

@@ -46,9 +46,11 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/agg"
@@ -189,6 +191,39 @@ func (c *nraCoordinator) unresolved() []int {
 	return out
 }
 
+// pickCostAware returns the single unresolved shard with the best
+// bound-tightening value per unit of expected cost: argmax over shards of
+// (ceiling − M_k) / stepCost. A shard that has never published has ceiling
+// +Inf, so the priorities of untouched shards tie at +Inf and resolve
+// toward the cheapest backend — expensive shards run last, against an M_k
+// their cheap siblings have already raised, and pause shallower than a
+// concurrent wave would let them.
+func (c *nraCoordinator) pickCostAware(stepCost []float64) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mk := float64(c.tbl.Mk())
+	best := -1
+	var bestPrio float64
+	for s := range c.exhausted {
+		if c.exhausted[s] {
+			continue
+		}
+		ceil := float64(c.ceiling(s))
+		if !(ceil > mk) {
+			continue // resolved: nothing outside the global top-k can win
+		}
+		// ceil > mk rules out Inf−Inf, so prio is +Inf or finite, never NaN.
+		prio := (ceil - mk) / stepCost[s]
+		if best == -1 || prio > bestPrio || (prio == bestPrio && stepCost[s] < stepCost[best]) {
+			best, bestPrio = s, prio
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return []int{best}
+}
+
 // topK returns the final global answer: the table's best k by
 // (W descending, B descending, ObjectID ascending), with [Lower, Upper]
 // carrying each survivor's final interval.
@@ -247,34 +282,69 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	sched := opts.Schedule
+	switch sched {
+	case ScheduleAuto:
+		sched = ScheduleWave
+	case ScheduleWave, ScheduleCostAware:
+	default:
+		return nil, fmt.Errorf("%w: unknown schedule %q", core.ErrBadQuery, sched)
+	}
 	ks := make([]int, p)
 	srcs := make([]*access.Source, p)
 	cursors := make([]*core.NRACursor, p)
+	stepCost := make([]float64, p)
 	for s, db := range e.shards {
 		ks[s] = k
 		if n := db.N(); ks[s] > n {
 			ks[s] = n // a shard smaller than k contributes all its objects
 		}
-		srcs[s] = access.New(db, access.Policy{NoRandom: true})
+		srcs[s] = e.source(s, access.Policy{NoRandom: true})
 		cur, err := core.NewNRACursor(srcs[s], t, ks[s], core.LazyEngine)
 		if err != nil {
 			return nil, err
 		}
 		cursors[s] = cur
+		stepCost[s] = cur.StepCost()
 	}
 	coord := newNRACoordinator(p, k, ks)
-	// Wave loop: run every pending shard until it pauses or exhausts, then
-	// ask the coordinator which paused shards must be resumed. Cursors
-	// persist across waves, so a resumed shard continues exactly where it
-	// stopped — including past its local halting point.
-	pending := make([]int, p)
-	for s := range pending {
-		pending[s] = s
+	// Scheduling loop: run every pending shard until it pauses or
+	// exhausts, then ask the scheduler which shards to resume. Cursors
+	// persist across batches, so a resumed shard continues exactly where
+	// it stopped — including past its local halting point. The wave
+	// scheduler resumes every unresolved shard concurrently; the
+	// cost-aware scheduler serializes, always resuming the shard whose
+	// ceiling exceeds M_k the most per unit of expected per-round cost.
+	next := func() []int {
+		if sched == ScheduleCostAware {
+			return coord.pickCostAware(stepCost)
+		}
+		return coord.unresolved()
 	}
+	var pending []int
+	if sched == ScheduleCostAware {
+		pending = next()
+	} else {
+		pending = make([]int, p)
+		for s := range pending {
+			pending[s] = s
+		}
+	}
+	ran := make([]bool, p)
+	resumes := make([]int, p)
+	elapsed := make([]time.Duration, p)
 	for len(pending) > 0 {
 		batch := pending
+		for _, s := range batch {
+			if ran[s] {
+				resumes[s]++
+			}
+			ran[s] = true
+		}
 		ForEach(len(batch), opts.Workers, func(i int) {
 			s := batch[i]
+			start := time.Now()
+			defer func() { elapsed[s] += time.Since(start) }()
 			cur := cursors[s]
 			since := 0
 			for {
@@ -303,26 +373,29 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pending = coord.unresolved()
+		pending = next()
 	}
 	items, exact := coord.topK()
 	stats := access.Stats{PerList: make([]int64, e.m)}
 	rounds := 0
+	var per []ShardStat
+	if opts.OnShardStats != nil {
+		per = make([]ShardStat, p)
+	}
 	for s := range srcs {
 		st := srcs[s].Stats()
-		stats.Sorted += st.Sorted
-		stats.Random += st.Random
-		stats.WildGuesses += st.WildGuesses
-		stats.BoundRecomputes += st.BoundRecomputes
-		stats.MaxBuffered += st.MaxBuffered
-		for i, d := range st.PerList {
-			stats.PerList[i] += d
-		}
+		addStats(&stats, st)
 		if d := cursors[s].Depth(); d > rounds {
 			rounds = d
 		}
+		if per != nil {
+			per[s] = ShardStat{Stats: st, Elapsed: elapsed[s], Resumes: resumes[s]}
+		}
 	}
 	stats.MaxBuffered += coord.peak
+	if opts.OnShardStats != nil {
+		opts.OnShardStats(per)
+	}
 	return &core.Result{
 		Items:       items,
 		GradesExact: exact,

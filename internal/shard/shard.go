@@ -28,6 +28,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/agg"
@@ -63,6 +64,38 @@ const (
 	PublishBoundCrossing PublishPolicy = "bound-crossing"
 )
 
+// Schedule selects how the no-random-access coordinator schedules shard
+// work (see nra.go). TA-mode queries have no resume loop to schedule, so
+// any explicit Schedule there is rejected with ErrBadQuery.
+type Schedule string
+
+const (
+	// ScheduleAuto (the zero value) resolves to ScheduleWave.
+	ScheduleAuto Schedule = ""
+	// ScheduleWave resumes every unresolved shard concurrently each wave —
+	// the wall-clock-optimal default when backends cost the same.
+	ScheduleWave Schedule = "wave"
+	// ScheduleCostAware runs one shard at a time, always the shard whose
+	// B-ceiling exceeds the global M_k the most per unit of expected
+	// per-round cost (a never-run shard's ceiling is +Inf, so ties resolve
+	// toward the cheapest backend). Expensive shards therefore run last,
+	// against an M_k the cheap shards have already raised, and pause far
+	// shallower than they would in a wave — trading intra-query
+	// parallelism for charged middleware cost on skewed backend sets.
+	ScheduleCostAware Schedule = "cost-aware"
+)
+
+// ShardStat is one shard's per-query observability record: its worker's
+// access accounting, the observed wall-clock the worker spent driving the
+// shard (which includes any backend latency — the signal that separates a
+// straggler subsystem from a cheap one), and how many times the scheduler
+// resumed it after a pause.
+type ShardStat struct {
+	Stats   access.Stats
+	Elapsed time.Duration
+	Resumes int
+}
+
 // Options configures one sharded query.
 type Options struct {
 	// Workers bounds the number of concurrently running shard workers;
@@ -90,6 +123,16 @@ type Options struct {
 	// selects PublishEveryR. Negative values, and values above 1 combined
 	// with PublishPerRound, are rejected with ErrBadQuery.
 	PublishEvery int
+	// Schedule selects the no-random-access scheduling policy; the zero
+	// value is ScheduleAuto (wave). ScheduleCostAware optimizes charged
+	// middleware cost on heterogeneous backends at the expense of
+	// parallelism. Setting a non-auto schedule without NoRandomAccess is
+	// rejected with ErrBadQuery.
+	Schedule Schedule
+	// OnShardStats, when non-nil, is invoked once just before the query
+	// returns successfully with every shard's per-worker accounting,
+	// observed wall-clock and resume count, indexed by shard.
+	OnShardStats func([]ShardStat)
 }
 
 // publishPlan is a resolved publish policy for a P-shard run.
@@ -139,9 +182,14 @@ func resolvePublish(opts Options, p int) (publishPlan, error) {
 // Engine is a database partitioned for sharded querying. Partitioning
 // happens once at construction; the engine is immutable afterwards and
 // safe for concurrent Query calls, each of which gets fresh per-shard
-// access.Sources and accounting.
+// access.Sources and accounting. Shards built FromBackends carry an
+// access stack (remote backends, a shared per-shard cache) that every
+// query's Source reads through; the caches are the engine's only mutable
+// state and are themselves safe for concurrent use.
 type Engine struct {
 	shards []*model.Database
+	lists  [][]access.ListSource // per-shard access stacks; nil = direct DB lists
+	caches []*access.Cache       // per-shard caches (nil where none)
 	m      int
 	n      int // total objects across shards
 }
@@ -162,14 +210,51 @@ func New(db *model.Database, p int) (*Engine, error) {
 // FromShards assembles an engine from pre-partitioned shards — the
 // multi-backend scenario where each shard already lives behind its own
 // subsystem. Shards must be non-nil, agree on the number of lists, and be
-// object-disjoint.
+// object-disjoint. Queries read the shard databases' lists directly; use
+// FromBackends to put a remote-backend or cache stack in front of them.
 func FromShards(shards []*model.Database) (*Engine, error) {
+	bs := make([]ShardBackend, len(shards))
+	for i, db := range shards {
+		bs[i] = ShardBackend{DB: db}
+	}
+	return FromBackends(bs)
+}
+
+// ShardBackend couples one shard's database with the access stack its
+// queries go through. DB carries the shard's data and object bookkeeping
+// (disjointness validation, shard sizes). Lists, when non-nil, is the
+// stack queries actually read — typically the DB's lists wrapped as
+// simulated remote backends (access.NewRemote) and/or behind a shared
+// per-shard cache (access.Cache.Wrap); nil means queries read the DB's
+// lists directly. Cache, when non-nil, lets the engine report the shard's
+// cache statistics (Engine.CacheStats); it should be the cache the Lists
+// stack was built over.
+type ShardBackend struct {
+	DB    *model.Database
+	Lists []access.ListSource
+	Cache *access.Cache
+}
+
+// FromBackends assembles an engine whose shards sit behind explicit access
+// stacks — the paper's middleware scenario: autonomous subsystems with
+// their own access costs, fronted by caches, aggregated by one
+// coordinator. Every shard's DB must be non-nil; shards must agree on the
+// number of lists and be object-disjoint; and a non-nil Lists must match
+// the shard's shape (one source per list, each serving the shard's N
+// objects).
+func FromBackends(shards []ShardBackend) (*Engine, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: need at least one shard")
 	}
 	var m, total int
 	seen := make(map[model.ObjectID]int)
-	for s, db := range shards {
+	e := &Engine{
+		shards: make([]*model.Database, len(shards)),
+		lists:  make([][]access.ListSource, len(shards)),
+		caches: make([]*access.Cache, len(shards)),
+	}
+	for s, sb := range shards {
+		db := sb.DB
 		if db == nil {
 			return nil, fmt.Errorf("shard: shard %d is nil", s)
 		}
@@ -178,6 +263,19 @@ func FromShards(shards []*model.Database) (*Engine, error) {
 		} else if db.M() != m {
 			return nil, fmt.Errorf("shard: shard %d has %d lists, want %d", s, db.M(), m)
 		}
+		if sb.Lists != nil {
+			if len(sb.Lists) != db.M() {
+				return nil, fmt.Errorf("shard: shard %d has %d backend lists, want %d", s, len(sb.Lists), db.M())
+			}
+			for i, l := range sb.Lists {
+				if l == nil {
+					return nil, fmt.Errorf("shard: shard %d backend list %d is nil", s, i)
+				}
+				if l.Len() != db.N() {
+					return nil, fmt.Errorf("shard: shard %d backend list %d serves %d entries, want %d", s, i, l.Len(), db.N())
+				}
+			}
+		}
 		for _, obj := range db.Objects() {
 			if prev, dup := seen[obj]; dup {
 				return nil, fmt.Errorf("shard: object %d appears in shards %d and %d", obj, prev, s)
@@ -185,8 +283,33 @@ func FromShards(shards []*model.Database) (*Engine, error) {
 			seen[obj] = s
 		}
 		total += db.N()
+		e.shards[s] = db
+		e.lists[s] = sb.Lists
+		e.caches[s] = sb.Cache
 	}
-	return &Engine{shards: shards, m: m, n: total}, nil
+	e.m, e.n = m, total
+	return e, nil
+}
+
+// source opens a fresh accounting Source over shard s's access stack.
+func (e *Engine) source(s int, policy access.Policy) *access.Source {
+	if ls := e.lists[s]; ls != nil {
+		return access.FromLists(ls, policy)
+	}
+	return access.New(e.shards[s], policy)
+}
+
+// CacheStats returns each shard's cache statistics, indexed by shard;
+// shards without a cache report zero stats. Caches persist across queries,
+// so the numbers are engine-lifetime cumulative.
+func (e *Engine) CacheStats() []access.CacheStats {
+	out := make([]access.CacheStats, len(e.caches))
+	for s, c := range e.caches {
+		if c != nil {
+			out[s] = c.Stats()
+		}
+	}
+	return out
 }
 
 // Shards returns the number of shards.
@@ -244,6 +367,22 @@ func (c *coordinator) kth() float64 {
 // abort stops every worker at its next progress report.
 func (c *coordinator) abort() { c.stopped.Store(true) }
 
+// addStats folds one worker's accounting into the engine-level sum:
+// PerList aligns by attribute index, everything else — access counts,
+// charged costs, buffer peaks — adds.
+func addStats(dst *access.Stats, src access.Stats) {
+	dst.Sorted += src.Sorted
+	dst.Random += src.Random
+	dst.ChargedSorted += src.ChargedSorted
+	dst.ChargedRandom += src.ChargedRandom
+	dst.WildGuesses += src.WildGuesses
+	dst.BoundRecomputes += src.BoundRecomputes
+	dst.MaxBuffered += src.MaxBuffered
+	for i, d := range src.PerList {
+		dst.PerList[i] += d
+	}
+}
+
 // equalScored reports whether two snapshots hold the same items; grades
 // are exact per object, so Object equality per position suffices.
 func equalScored(a, b []core.Scored) bool {
@@ -282,9 +421,13 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	if opts.Publish != PublishAuto || opts.PublishEvery != 0 {
 		return nil, fmt.Errorf("%w: publish batching applies to the no-random-access mode; TA workers have no publish schedule to configure", core.ErrBadQuery)
 	}
+	if opts.Schedule != ScheduleAuto {
+		return nil, fmt.Errorf("%w: scheduling policies apply to the no-random-access mode; TA workers run once under threshold cancellation and have no resume loop to schedule", core.ErrBadQuery)
+	}
 	p := len(e.shards)
 	coord := newCoordinator(k)
 	results := make([]*core.Result, p)
+	elapsed := make([]time.Duration, p)
 	errs := make([]error, p)
 	ForEach(p, opts.Workers, func(s int) {
 		db := e.shards[s]
@@ -317,7 +460,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 				return !(float64(pr.Threshold) < coord.kth())
 			},
 		}
-		res, err := ta.Run(access.New(db, access.AllowAll), t, ks)
+		start := time.Now()
+		res, err := ta.Run(e.source(s, access.AllowAll), t, ks)
+		elapsed[s] = time.Since(start)
 		if err != nil {
 			errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
 			coord.abort()
@@ -340,17 +485,17 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	rounds := 0
 	for _, res := range results {
 		coord.merge(res.Items)
-		stats.Sorted += res.Stats.Sorted
-		stats.Random += res.Stats.Random
-		stats.WildGuesses += res.Stats.WildGuesses
-		stats.BoundRecomputes += res.Stats.BoundRecomputes
-		stats.MaxBuffered += res.Stats.MaxBuffered
-		for i, d := range res.Stats.PerList {
-			stats.PerList[i] += d
-		}
+		addStats(&stats, res.Stats)
 		if res.Rounds > rounds {
 			rounds = res.Rounds
 		}
+	}
+	if opts.OnShardStats != nil {
+		per := make([]ShardStat, p)
+		for s, res := range results {
+			per[s] = ShardStat{Stats: res.Stats, Elapsed: elapsed[s]}
+		}
+		opts.OnShardStats(per)
 	}
 	// The coordinator's global TopKBuffer holds k items of its own on top
 	// of whatever the workers buffered.

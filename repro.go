@@ -24,6 +24,8 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/agg"
@@ -136,8 +138,9 @@ type Options struct {
 	// object-disjoint shards and answers the query with one concurrent
 	// worker per shard (the sharded engine; see NewSharded for a
 	// reusable handle that partitions only once). Zero (the default)
-	// keeps the sequential path; negative values are rejected with
-	// ErrBadQuery.
+	// keeps the sequential path; AutoShards (-1) asks the engine to pick
+	// the shard count from N, k and GOMAXPROCS; other negative values are
+	// rejected with ErrBadQuery.
 	//
 	// With random access available (the default), workers run TA and the
 	// answer is canonical — top k by (grade descending, ObjectID
@@ -172,7 +175,85 @@ type Options struct {
 	// selects PublishEveryR. Negative values are rejected with
 	// ErrBadQuery.
 	PublishEvery int
+	// Backend, when non-nil, wraps every list as a simulated remote
+	// backend with the given per-access costs and latency distribution
+	// before the query runs — the paper's middleware scenario with the
+	// subsystem costs made real. It composes with Shards (each shard's
+	// lists are wrapped; the highest-index StragglerShards shards get
+	// their costs and latency multiplied by StragglerFactor) and with the
+	// sequential path (one logical backend set). Stats.ChargedSorted /
+	// ChargedRandom then report what the backends billed.
+	Backend *BackendSpec
+	// Cache, when non-nil, inserts a bounded page cache + random-access
+	// memo between the query and the lists (above Backend when both are
+	// set): sharded queries get one cache per shard, sequential queries
+	// one cache in total. A cache configured through Options lives for a
+	// single Query call — within it, repeated probes and re-read prefixes
+	// are served from cache; use NewShardedStack for a persistent engine
+	// whose caches are shared across queries.
+	Cache *CacheSpec
+	// Schedule selects the sharded no-random-access scheduling policy:
+	// ScheduleWave (the default) resumes every unresolved shard
+	// concurrently; ScheduleCostAware serializes on the shard with the
+	// best bound-tightening per unit of expected cost, minimizing charged
+	// middleware cost on skewed backend sets. Non-auto values require the
+	// sharded no-random-access mode; anything else is rejected with
+	// ErrBadQuery.
+	Schedule Schedule
 }
+
+// AutoShards is the Options.Shards sentinel asking the engine to pick the
+// shard count itself: P = shard.AutoShards(N, k, GOMAXPROCS), the E20
+// cost-model heuristic (per-worker depth shrinks ≈ 1/P until shards run
+// out of cores or objects). Zero still means the plain sequential path —
+// auto-sharding must be opted into because the sharded path rejects
+// sequential-only options (OnProgress, Theta, TAz).
+const AutoShards = -1
+
+// BackendSpec configures simulated remote backends; see Options.Backend.
+// The zero value of each field takes the documented default.
+type BackendSpec struct {
+	// SortedCost and RandomCost are the per-access charges (the paper's
+	// per-subsystem cS and cR). Both zero means "inherit Options.Costs".
+	SortedCost float64
+	RandomCost float64
+	// Latency is the base simulated latency per access (both kinds); zero
+	// injects none. Jitter spreads it uniformly over [1−J, 1+J]·Latency,
+	// deterministically from Seed.
+	Latency time.Duration
+	Jitter  float64
+	Seed    uint64
+	// StragglerShards marks the highest-index shards as stragglers whose
+	// costs and latency are multiplied by StragglerFactor (default 8) —
+	// the skewed backend set a latency-aware scheduler exploits. Ignored
+	// on the sequential path.
+	StragglerShards int
+	StragglerFactor float64
+}
+
+// CacheSpec configures the per-shard page cache; see Options.Cache. Zero
+// fields take access.CacheConfig's defaults (64-entry pages, 256 pages,
+// 4096 memoized grades).
+type CacheSpec struct {
+	PageSize int
+	Pages    int
+	Memo     int
+}
+
+// Schedule selects the sharded no-random-access scheduling policy; see
+// Options.Schedule.
+type Schedule = shard.Schedule
+
+// Available schedules.
+const (
+	// ScheduleAuto resolves to ScheduleWave.
+	ScheduleAuto = shard.ScheduleAuto
+	// ScheduleWave resumes every unresolved shard concurrently.
+	ScheduleWave = shard.ScheduleWave
+	// ScheduleCostAware resumes the shard with the best bound-tightening
+	// per unit of expected cost, one at a time.
+	ScheduleCostAware = shard.ScheduleCostAware
+)
 
 // PublishPolicy selects when sharded no-random-access workers publish to
 // the coordinator; see Options.Publish.
@@ -232,8 +313,11 @@ func NewSharded(db *Database, p int) (*Sharded, error) { return shard.New(db, p)
 // wraps ErrBadQuery, the same identity the internal layers use, so callers
 // branch on errors.Is instead of error text.
 func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error) {
+	if opts.Shards == AutoShards {
+		opts.Shards = shard.AutoShards(db.N(), k, runtime.GOMAXPROCS(0))
+	}
 	if opts.Shards < 0 {
-		return nil, fmt.Errorf("%w: Shards must be non-negative, got %d", ErrBadQuery, opts.Shards)
+		return nil, fmt.Errorf("%w: Shards must be non-negative (or AutoShards), got %d", ErrBadQuery, opts.Shards)
 	}
 	switch opts.Algorithm {
 	case "", AlgoTA, AlgoNRA:
@@ -256,10 +340,16 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 	if opts.OnProgress != nil {
 		return nil, fmt.Errorf("%w: sharding does not support the OnProgress callback", ErrBadQuery)
 	}
-	if _, err := normalizeCosts(opts.Costs); err != nil {
+	costs, err := normalizeCosts(opts.Costs)
+	if err != nil {
 		return nil, err
 	}
-	eng, err := shard.New(db, opts.Shards)
+	var eng *Sharded
+	if opts.Backend == nil && opts.Cache == nil {
+		eng, err = shard.New(db, opts.Shards)
+	} else {
+		eng, err = newShardedStack(db, opts.Shards, opts.Backend, opts.Cache, costs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +359,118 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 		NoRandomAccess: noRandom,
 		Publish:        opts.Publish,
 		PublishEvery:   opts.PublishEvery,
+		Schedule:       opts.Schedule,
 	})
+}
+
+// NewShardedStack partitions db into p shards and fronts each with the
+// configured backend stack, bottom to top: the shard's sorted lists, the
+// simulated remote backends (when backend is non-nil), and a per-shard
+// cache shared across every query on the returned engine (when cache is
+// non-nil). Use it instead of NewSharded when queries should run against
+// heterogeneous backend costs, simulated latency, or a persistent cache;
+// Engine.CacheStats reports the per-shard hit rates.
+func NewShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec) (*Sharded, error) {
+	return newShardedStack(db, p, backend, cache, access.UnitCosts)
+}
+
+// newShardedStack is NewShardedStack with the cost model backends inherit
+// when the spec declares none (querySharded passes Options.Costs).
+func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec, base CostModel) (*Sharded, error) {
+	if db == nil {
+		return nil, fmt.Errorf("repro: nil database")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("%w: shard count must be at least 1, got %d", ErrBadQuery, p)
+	}
+	if backend != nil {
+		if err := backend.validate(); err != nil {
+			return nil, err
+		}
+	}
+	dbs, err := db.Partition(p)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]shard.ShardBackend, len(dbs))
+	for s, sdb := range dbs {
+		sb := shard.ShardBackend{DB: sdb}
+		if backend != nil || cache != nil {
+			lists := make([]access.ListSource, sdb.M())
+			for i := range lists {
+				lists[i] = sdb.List(i)
+			}
+			if backend != nil {
+				cm, lat := backend.forShard(s, len(dbs), base)
+				for i := range lists {
+					lists[i] = access.NewRemote(lists[i], cm, lat)
+				}
+			}
+			if cache != nil {
+				c := access.NewCache(access.CacheConfig{
+					PageSize: cache.PageSize,
+					Pages:    cache.Pages,
+					Memo:     cache.Memo,
+				})
+				lists = access.WrapLists(c, lists)
+				sb.Cache = c
+			}
+			sb.Lists = lists
+		}
+		shards[s] = sb
+	}
+	return shard.FromBackends(shards)
+}
+
+// validate rejects backend specs whose charges or distributions are
+// malformed, mirroring normalizeCosts' rules for the cost half: declared
+// costs must be a valid cost model (or both zero, meaning "inherit"), and
+// negative costs are refused outright — they would flip the cost-aware
+// scheduler's priorities and produce negative charged totals.
+func (b *BackendSpec) validate() error {
+	if b.SortedCost < 0 || b.RandomCost < 0 {
+		return fmt.Errorf("%w: backend costs must be non-negative, got cS=%g cR=%g", ErrBadQuery, b.SortedCost, b.RandomCost)
+	}
+	if b.SortedCost == 0 && b.RandomCost > 0 {
+		return fmt.Errorf("%w: backend sorted-access cost must be positive when a random cost is declared", ErrBadQuery)
+	}
+	if b.Latency < 0 {
+		return fmt.Errorf("%w: backend latency must be non-negative, got %v", ErrBadQuery, b.Latency)
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		return fmt.Errorf("%w: backend jitter must be in [0, 1], got %g", ErrBadQuery, b.Jitter)
+	}
+	if b.StragglerShards < 0 || b.StragglerFactor < 0 {
+		return fmt.Errorf("%w: straggler configuration must be non-negative, got shards=%d factor=%g", ErrBadQuery, b.StragglerShards, b.StragglerFactor)
+	}
+	return nil
+}
+
+// forShard resolves the spec into shard s's cost model and latency
+// distribution: the declared (or inherited) base costs, stretched by
+// StragglerFactor on the StragglerShards highest-index shards.
+func (b *BackendSpec) forShard(s, p int, base CostModel) (access.CostModel, access.Latency) {
+	cm := CostModel{CS: b.SortedCost, CR: b.RandomCost}
+	if cm.CS == 0 && cm.CR == 0 {
+		cm = base
+	}
+	lat := access.Latency{
+		Sorted: b.Latency,
+		Random: b.Latency,
+		Jitter: b.Jitter,
+		Seed:   b.Seed + uint64(s)*0x9e37, // decorrelate per-shard jitter
+	}
+	if b.StragglerShards > 0 && s >= p-b.StragglerShards {
+		f := b.StragglerFactor
+		if f <= 0 {
+			f = 8
+		}
+		cm.CS *= f
+		cm.CR *= f
+		lat.Sorted = time.Duration(float64(lat.Sorted) * f)
+		lat.Random = time.Duration(float64(lat.Random) * f)
+	}
+	return cm, lat
 }
 
 // normalizeCosts applies the zero-value default (unit costs) and rejects
@@ -284,13 +485,48 @@ func normalizeCosts(c CostModel) (CostModel, error) {
 	return c, nil
 }
 
-// prepare resolves Options into an algorithm and a fresh accounting Source.
+// prepare resolves Options into an algorithm and a fresh accounting Source
+// over the configured access stack (plain lists by default; simulated
+// remote backends and/or a query-lifetime cache when Options.Backend /
+// Options.Cache are set).
 func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error) {
 	al, policy, err := resolve(db, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return al, access.New(db, policy), nil
+	if opts.Backend == nil && opts.Cache == nil {
+		return al, access.New(db, policy), nil
+	}
+	costs, err := normalizeCosts(opts.Costs)
+	if err != nil {
+		return nil, nil, err
+	}
+	lists := make([]access.ListSource, db.M())
+	for i := range lists {
+		lists[i] = db.List(i)
+	}
+	if opts.Backend != nil {
+		if err := opts.Backend.validate(); err != nil {
+			return nil, nil, err
+		}
+		// One logical backend set: straggler marking is per shard and does
+		// not apply here.
+		spec := *opts.Backend
+		spec.StragglerShards = 0
+		cm, lat := spec.forShard(0, 1, costs)
+		for i := range lists {
+			lists[i] = access.NewRemote(lists[i], cm, lat)
+		}
+	}
+	if opts.Cache != nil {
+		c := access.NewCache(access.CacheConfig{
+			PageSize: opts.Cache.PageSize,
+			Pages:    opts.Cache.Pages,
+			Memo:     opts.Cache.Memo,
+		})
+		lists = access.WrapLists(c, lists)
+	}
+	return al, access.FromLists(lists, policy), nil
 }
 
 // resolve maps Options to an algorithm and access policy without binding
@@ -303,6 +539,9 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 	}
 	if opts.Publish != PublishAuto || opts.PublishEvery != 0 {
 		return nil, access.Policy{}, fmt.Errorf("%w: publish batching applies only to sharded no-random-access queries", ErrBadQuery)
+	}
+	if opts.Schedule != ScheduleAuto {
+		return nil, access.Policy{}, fmt.Errorf("%w: scheduling policies apply only to sharded no-random-access queries", ErrBadQuery)
 	}
 	costs, err := normalizeCosts(opts.Costs)
 	if err != nil {

@@ -5,13 +5,15 @@
 # Usage: scripts/bench.sh [go-test-bench-regex]
 #
 # Writes BENCH_topk.json (one JSON object per line: benchmark name,
-# ns/op, custom metrics such as speedup-vs-P1/speedup-vs-seq, plus a final
-# machine-readable speedup-summary object) and the raw text output
+# ns/op, custom metrics such as speedup-vs-P1/speedup-vs-seq, plus final
+# machine-readable summary objects) and the raw text output
 # BENCH_topk.txt in the repository root. The default pattern covers every
 # benchmark, and the run fails if any guarded concurrency benchmark
-# (BenchmarkShardedTA, BenchmarkShardedNRA, BenchmarkSharedScan) is
-# missing from the output, so the perf trajectory always tracks both
-# sharded modes and the shared-scan batch executor.
+# (BenchmarkShardedTA, BenchmarkShardedNRA, BenchmarkSharedScan,
+# BenchmarkRemoteShards) is missing from the output, so the perf
+# trajectory always tracks both sharded modes, the shared-scan batch
+# executor, and the remote-backend stack (scheduler cancellation savings
+# and cache hit rate).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ go test -run '^$' -bench "$pattern" -benchmem . > BENCH_topk.txt 2>&1 || {
 cat BENCH_topk.txt
 
 if [ "$pattern" = "." ]; then
-    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan; do
+    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan BenchmarkRemoteShards; do
         if ! grep -q "^$required" BENCH_topk.txt; then
             echo "bench.sh: expected $required in the benchmark output" >&2
             exit 1
@@ -65,6 +67,26 @@ awk '
 }
 END {
     printf "{\"summary\":\"concurrency-speedups\""
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
+
+# Append the backend-stack summary: the remote-shard scheduler's charged
+# costs and cancellation savings plus the page cache's hit rate, one
+# machine-readable line.
+awk '
+/^Benchmark/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "charged-wave" || unit == "charged-cost-aware" || unit == "cancel-savings" || unit == "cache-hit-rate") {
+            keys[++nk] = $1 ":" unit
+            vals[nk] = $i
+        }
+    }
+}
+END {
+    printf "{\"summary\":\"backend-cache\""
     for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
     print "}"
 }
