@@ -1,6 +1,6 @@
 // Command experiments regenerates every reproduction experiment table
-// (E01–E17, see DESIGN.md). With no arguments it runs everything; with
-// experiment IDs as arguments it runs just those.
+// (E01–E24, cataloged in docs/EXPERIMENTS.md). With no arguments it runs
+// everything; with experiment IDs as arguments it runs just those.
 //
 // Usage:
 //

@@ -14,6 +14,9 @@
 //	topk -data db.csv -agg avg -k 10 -shards 4 -no-random \
 //	     -remote -cs 1 -cr 8 -backend-latency 200us -backend-stragglers 1 \
 //	     -cache -schedule cost-aware                               (remote backend stack)
+//	topk -data db.csv -agg avg -k 10 -cs 1 -cr 8 -cost-aware-ta   (CA-style access planning)
+//	topk -data db.csv -agg avg -k 10 -shards 4 -no-random \
+//	     -remote -schedule adaptive                                (observed-cost feedback)
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		cr       = flag.Float64("cr", 1, "random access cost cR")
 		theta    = flag.Float64("theta", 0, "θ-approximation parameter (>1 enables TAθ)")
 		noRandom = flag.Bool("no-random", false, "forbid random access (NRA scenario)")
+		costTA   = flag.Bool("cost-aware-ta", false, "cost-adaptive TA: allocate sorted accesses cheapest-first and spend random access at the CA cadence h≈cR/cS (exact answers, lower charged cost when cR≫cS)")
 		shards   = flag.Int("shards", 0, "partition the database into this many shards and query them concurrently (TA workers, or resumable NRA workers with -no-random; 0 = no sharding, -1 = pick automatically from N, k and GOMAXPROCS)")
 		workers  = flag.Int("shard-workers", 0, "max concurrent shard workers (0 = one per shard)")
 		publish  = flag.String("publish", "", "sharded NRA publish policy: per-round|every-r|bound-crossing (default: per-round at P=1, bound-crossing otherwise)")
@@ -54,7 +58,7 @@ func main() {
 		cachePages = flag.Int("cache-pages", 0, "page-cache capacity in pages (default 256)")
 		pageSize   = flag.Int("cache-page-size", 0, "entries per cached page (default 64)")
 		cacheMemo  = flag.Int("cache-memo", 0, "random-access memo capacity in grades (default 4096)")
-		schedule   = flag.String("schedule", "", "sharded NRA scheduling policy: wave|cost-aware (default wave)")
+		schedule   = flag.String("schedule", "", "sharded NRA scheduling policy: wave|cost-aware|adaptive (default wave; adaptive feeds observed latency back into the cost-aware priorities)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -101,6 +105,7 @@ func main() {
 		Costs:          repro.CostModel{CS: *cs, CR: *cr},
 		Theta:          *theta,
 		NoRandomAccess: *noRandom,
+		CostAwareTA:    *costTA,
 		Shards:         p,
 		ShardWorkers:   *workers,
 		Publish:        repro.PublishPolicy(*publish),
@@ -133,6 +138,8 @@ func main() {
 		}
 		res, err = eng.Query(t, *k, repro.ShardOptions{
 			Workers:        *workers,
+			CostAwareTA:    *costTA,
+			Costs:          repro.CostModel{CS: *cs, CR: *cr},
 			NoRandomAccess: *noRandom || engineAlgo == string(repro.AlgoNRA),
 			Publish:        repro.PublishPolicy(*publish),
 			PublishEvery:   *publishR,
@@ -151,8 +158,14 @@ func main() {
 			engine = string(repro.AlgoNRA)
 		}
 	}
+	if *costTA && engine == string(repro.AlgoTA) {
+		engine = "cost-aware TA"
+	}
 	if p >= 1 {
 		worker := "TA"
+		if *costTA {
+			worker = "cost-aware TA"
+		}
 		if *noRandom || engine == string(repro.AlgoNRA) {
 			worker = "NRA"
 		}

@@ -1,0 +1,115 @@
+package repro_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestCostAwareTAOption checks the public Options.CostAwareTA surface:
+// sequential and sharded runs return plain TA's true-grade multiset with
+// exact grades, and against backends declaring expensive random access the
+// cost-aware run is charged less.
+func TestCostAwareTAOption(t *testing.T) {
+	db, err := workload.Zipf(workload.Spec{N: 6000, M: 3, Seed: 50}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := repro.Avg(3)
+	backend := &repro.BackendSpec{SortedCost: 1, RandomCost: 8}
+	plain, err := repro.Query(db, tf, 10, repro.Options{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.TrueGradeMultiset(db, tf, plain.Items)
+	for _, opts := range []repro.Options{
+		{CostAwareTA: true, Backend: backend},
+		{CostAwareTA: true, Backend: backend, Shards: 4},
+	} {
+		res, err := repro.Query(db, tf, 10, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !res.GradesExact {
+			t.Fatalf("%+v: GradesExact false", opts)
+		}
+		got := core.TrueGradeMultiset(db, tf, res.Items)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: grade multiset %v, want %v", opts, got, want)
+			}
+		}
+		if res.Stats.Charged() >= plain.Stats.Charged() {
+			t.Fatalf("%+v: charged %g, plain TA charged %g", opts, res.Stats.Charged(), plain.Stats.Charged())
+		}
+	}
+}
+
+// TestCostAwareTAShardedHonorsCosts: on plain (non-backend) lists the
+// sharded cost-aware workers must derive their phase period from
+// Options.Costs, like the sequential path — declaring cR/cS = 32 makes
+// random-resolution phases 32× rarer than the unit model's, so the run
+// performs measurably fewer random accesses.
+func TestCostAwareTAShardedHonorsCosts(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 6000, M: 3, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cm repro.CostModel) *repro.Result {
+		res, err := repro.Query(db, repro.Avg(3), 10, repro.Options{
+			CostAwareTA: true, Shards: 2, ShardWorkers: 1, Costs: cm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	frequent := run(repro.CostModel{CS: 1, CR: 1})
+	rare := run(repro.CostModel{CS: 1, CR: 32})
+	if rare.Stats.Random >= frequent.Stats.Random {
+		t.Fatalf("h=32 run made %d random accesses, h=1 run %d — Options.Costs is not reaching the shard workers",
+			rare.Stats.Random, frequent.Stats.Random)
+	}
+}
+
+// TestCostAwareTAOptionValidation pins the rejected combinations on both
+// paths, all with the ErrBadQuery identity.
+func TestCostAwareTAOptionValidation(t *testing.T) {
+	db := sampleDB(t)
+	bad := []repro.Options{
+		{CostAwareTA: true, Algorithm: repro.AlgoCA},
+		{CostAwareTA: true, Algorithm: repro.AlgoNRA},
+		{CostAwareTA: true, NoRandomAccess: true},
+		{CostAwareTA: true, Theta: 1.5},
+		{CostAwareTA: true, Shards: 2, NoRandomAccess: true},
+		{CostAwareTA: true, Shards: 2, Algorithm: repro.AlgoNRA},
+		{CostAwareTA: true, Shards: 2, Theta: 1.5},
+	}
+	for _, opts := range bad {
+		if _, err := repro.Query(db, repro.Min(3), 1, opts); !errors.Is(err, repro.ErrBadQuery) {
+			t.Errorf("%+v: err = %v, want ErrBadQuery", opts, err)
+		}
+	}
+}
+
+// TestAdaptiveScheduleOption checks the ScheduleAdaptive re-export: valid
+// only in the sharded no-random-access mode, answering with zero random
+// accesses; the sequential path rejects it like every schedule.
+func TestAdaptiveScheduleOption(t *testing.T) {
+	db := sampleDB(t)
+	if _, err := repro.Query(db, repro.Min(3), 1, repro.Options{Schedule: repro.ScheduleAdaptive}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("sequential adaptive schedule: err = %v, want ErrBadQuery", err)
+	}
+	res, err := repro.Query(db, repro.Min(3), 2, repro.Options{
+		Shards: 2, NoRandomAccess: true, Schedule: repro.ScheduleAdaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Random != 0 {
+		t.Fatalf("adaptive schedule made %d random accesses", res.Stats.Random)
+	}
+}

@@ -311,6 +311,11 @@ func (s *Source) Counts() (sorted, random int64) {
 	return s.stats.Sorted, s.stats.Random
 }
 
+// AccessCost returns list i's declared cost model (UnitCosts for plain
+// lists). Cost-aware planners read these as priors: a cache above the
+// backend may bill less per access, never more.
+func (s *Source) AccessCost(i int) CostModel { return s.costs[i] }
+
 // SortedRoundCost returns the declared cost of one parallel sorted-access
 // round — Σ cS over the lists the policy permits sorted access on. It is
 // the expected per-round charge a scheduler weighs a resume against; a

@@ -136,6 +136,54 @@ func (r *Remote) delay(base time.Duration) {
 	time.Sleep(dur)
 }
 
+// Misdeclared wraps a backend whose advertised cost model lies: the
+// declared costs (AccessCosts — the prior every cost-aware planner reads)
+// are whatever the wrapper claims, while each access still bills the
+// wrapped backend's true cost and takes its true time. It models the
+// operational reality the paper's clean cost model hides — an autonomous
+// subsystem's published price list drifting from what it actually charges —
+// and is the fixture the EWMA observed-cost estimator is tested against:
+// declared-cost scheduling trusts the lie, adaptive scheduling learns the
+// truth from observed latency.
+type Misdeclared struct {
+	backend  Backend
+	declared CostModel
+}
+
+// NewMisdeclared wraps backend with a lying declared cost model.
+func NewMisdeclared(backend Backend, declared CostModel) *Misdeclared {
+	if declared.CS == 0 && declared.CR == 0 {
+		declared = UnitCosts
+	}
+	return &Misdeclared{backend: backend, declared: declared}
+}
+
+// Len implements ListSource.
+func (m *Misdeclared) Len() int { return m.backend.Len() }
+
+// At implements ListSource (the wrapped backend sleeps its true latency).
+func (m *Misdeclared) At(pos int) model.Entry { return m.backend.At(pos) }
+
+// GradeOf implements ListSource.
+func (m *Misdeclared) GradeOf(obj model.ObjectID) (model.Grade, bool) {
+	return m.backend.GradeOf(obj)
+}
+
+// AccessCosts implements Backend: the lie.
+func (m *Misdeclared) AccessCosts() CostModel { return m.declared }
+
+// AtCost implements CostedList: the access bills the wrapped backend's true
+// sorted cost, whatever was declared.
+func (m *Misdeclared) AtCost(pos int) (model.Entry, float64) {
+	return m.backend.At(pos), m.backend.AccessCosts().CS
+}
+
+// GradeOfCost implements CostedList: the true random-access cost.
+func (m *Misdeclared) GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64) {
+	g, ok := m.backend.GradeOf(obj)
+	return g, ok, m.backend.AccessCosts().CR
+}
+
 // splitmix64 is the SplitMix64 mixer — a tiny, allocation-free way to turn
 // (seed, sequence-number) into reproducible jitter without a locked
 // rand.Rand shared across goroutines.

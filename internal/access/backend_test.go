@@ -109,3 +109,31 @@ func TestRemoteThroughSource(t *testing.T) {
 		t.Fatalf("Charged = %g, want 13", st.Charged())
 	}
 }
+
+// TestMisdeclaredDeclaresLieBillsTruth checks the lying-backend fixture:
+// planners reading the declared cost model (AccessCosts, SortedRoundCost)
+// see the lie, while every access bills the wrapped backend's true cost
+// through the CostedList path.
+func TestMisdeclaredDeclaresLieBillsTruth(t *testing.T) {
+	db := testDB(t)
+	truth := CostModel{CS: 16, CR: 128}
+	lie := CostModel{CS: 1, CR: 8}
+	lists := make([]ListSource, db.M())
+	for i := range lists {
+		lists[i] = NewMisdeclared(NewRemote(db.List(i), truth, Latency{}), lie)
+	}
+	src := FromLists(lists, AllowAll)
+	if got := src.AccessCost(0); got != lie {
+		t.Fatalf("declared cost model %+v, want the lie %+v", got, lie)
+	}
+	if got := src.SortedRoundCost(); got != float64(db.M())*lie.CS {
+		t.Fatalf("SortedRoundCost = %g, want the declared %g", got, float64(db.M())*lie.CS)
+	}
+	src.SortedNext(0)
+	src.Random(1, 1)
+	st := src.Stats()
+	if st.ChargedSorted != truth.CS || st.ChargedRandom != truth.CR {
+		t.Fatalf("charged = (%g, %g), want the truth (%g, %g)",
+			st.ChargedSorted, st.ChargedRandom, truth.CS, truth.CR)
+	}
+}

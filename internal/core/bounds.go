@@ -283,6 +283,30 @@ func (tb *table) drainTop(mk model.Grade) *partial {
 	return nil
 }
 
+// resolveAll performs the random accesses for every missing field of p
+// (one CA/Intermittent resolution, and CostAwareTA's final pinning step).
+func (tb *table) resolveAll(p *partial) {
+	for j := 0; j < tb.m; j++ {
+		if p.known&(uint64(1)<<uint(j)) != 0 {
+			continue
+		}
+		g, ok := tb.src.Random(j, p.obj)
+		if !ok {
+			continue
+		}
+		tb.learn(p.obj, j, g)
+	}
+}
+
+// randomPhase performs one CA Step-2 phase (Section 8.2): resolve by random
+// access every missing field of the seen, viable object with the largest B,
+// or do nothing if no such object exists (footnote 15's escape clause).
+func (tb *table) randomPhase() {
+	if target := tb.pickPhaseTarget(); target != nil {
+		tb.resolveAll(target)
+	}
+}
+
 // maxBOutsideRescan recomputes B for every seen object (the paper's
 // straightforward bookkeeping) and returns the largest B among objects
 // outside T_k, or -Inf if none. Rescan engine only.

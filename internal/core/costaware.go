@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/model"
+)
+
+// CostAwareTA is the cost-adaptive threshold algorithm: TA's contract —
+// exact grades for the top k — bought at CA's exchange rate. Plain TA
+// resolves every object it encounters under sorted access immediately, by
+// m−1 random accesses, which is exactly the behavior that loses instance
+// optimality's practical edge when cR ≫ cS (the reason Section 8.2
+// introduces CA). CostAwareTA instead:
+//
+//   - allocates sorted accesses with CAPlanner, deepening the list whose
+//     next access buys the largest expected threshold drop per unit of
+//     declared charged cost (cheap lists first on heterogeneous backends);
+//   - spends random access at the paper's CA cadence — one resolution
+//     phase (the seen, viable object with the largest B gets its missing
+//     fields resolved) every h ≈ cR/cS sorted-access rounds, h derived
+//     from the backends' declared cost models;
+//   - maintains NRA's [W, B] bound bookkeeping in between, so halting
+//     needs no per-object resolution at all;
+//   - and, once the stopping rule fires, pins the answer exactly: every
+//     top-k member with missing fields is resolved by random access (at
+//     most k·(m−1) accesses), so GradesExact is always true.
+//
+// The answer therefore carries exact grades like TA's while the charged
+// middleware cost tracks CA's. Ties at the k-th grade are broken
+// arbitrarily (as the paper allows), so answers agree with TA's as grade
+// multisets, not necessarily as object sets.
+type CostAwareTA struct {
+	// Costs supplies the cS/cR used to derive the phase period h when the
+	// source's backends declare nothing (plain unit-cost lists). When the
+	// lists declare real cost models (access.Backend), the declared
+	// per-list costs win and Costs is ignored.
+	Costs access.CostModel
+	// H, when positive, overrides the derived phase period (in
+	// sorted-access rounds, like CA's h).
+	H int
+	// Planner selects the sorted-access allocation; nil means
+	// CAPlanner{}. Lockstep{} recovers CA's parallel rounds.
+	Planner Scheduler
+	// OnProgress, when non-nil, is invoked once per sorted-access round
+	// (every m sorted accesses, wherever the planner spent them —
+	// assembling the view costs O(k·m) bound refreshes, so it is not done
+	// per access). Unlike TA's hook, TopK carries only the candidates
+	// whose grades are already exact (pinned, W = B), and Threshold
+	// carries the run's B-ceiling: the largest possible grade of any
+	// object not in TopK — unseen, partially seen, or a top-k candidate
+	// not yet pinned. Returning false stops the run with the pinned
+	// candidates; the sharded engine cancels workers through this hook
+	// once their ceiling falls below the global k-th grade.
+	OnProgress func(Progress) bool
+}
+
+// Name implements Algorithm.
+func (a *CostAwareTA) Name() string { return "TA-cost-aware" }
+
+// phasePeriod resolves h, the number of sorted-access rounds between
+// random-access phases: the explicit override, or ⌊cR/cS⌋ from the mean
+// declared per-list backend costs, falling back to the configured (then
+// unit) cost model.
+func (a *CostAwareTA) phasePeriod(src *access.Source) int {
+	if a.H > 0 {
+		return a.H
+	}
+	var cs, cr float64
+	for i := 0; i < src.M(); i++ {
+		cm := src.AccessCost(i)
+		cs += cm.CS
+		cr += cm.CR
+	}
+	m := float64(src.M())
+	declared := access.CostModel{CS: cs / m, CR: cr / m}
+	if declared != access.UnitCosts && declared.CS > 0 {
+		return declared.H()
+	}
+	c := a.Costs
+	if c.CS <= 0 {
+		c = access.UnitCosts
+	}
+	return c.H()
+}
+
+// ceiling returns the largest possible overall grade of any object whose
+// exact grade is not yet known: the unseen-object threshold τ (while
+// unseen objects remain), the largest B among unpinned top-k members, and
+// the largest fresh B among viable candidates outside the top-k.
+// Computing it retires non-viable candidates, which is sound (B only
+// falls, M_k only rises).
+func (a *CostAwareTA) ceiling(tb *table) model.Grade {
+	ceil := model.Grade(math.Inf(-1))
+	if len(tb.parts) < tb.src.N() {
+		ceil = tb.threshold()
+	}
+	for _, p := range tb.topk {
+		tb.refreshB(p)
+		if p.w != p.b && p.b > ceil {
+			ceil = p.b
+		}
+	}
+	if c := tb.drainTop(tb.mk()); c != nil && c.b > ceil {
+		ceil = c.b
+	}
+	return ceil
+}
+
+// pinned appends the top-k members whose grades are already exact (W = B
+// after a refresh), best first, reusing buf.
+func pinned(tb *table, buf []Scored) []Scored {
+	buf = buf[:0]
+	for _, p := range tb.topk {
+		tb.refreshB(p)
+		if p.w == p.b {
+			buf = append(buf, Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.w})
+		}
+	}
+	return buf
+}
+
+// Run implements Algorithm.
+func (a *CostAwareTA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
+	if err := validate(src, t, k); err != nil {
+		return nil, err
+	}
+	m := src.M()
+	for i := 0; i < m; i++ {
+		if !src.CanSorted(i) {
+			return nil, fmt.Errorf("%w: cost-aware TA needs sorted access to every list", ErrBadQuery)
+		}
+	}
+	if m > 1 && !src.CanRandom(0) {
+		return nil, fmt.Errorf("%w: cost-aware TA needs random access; use NRA when random access is impossible", ErrBadQuery)
+	}
+	h := a.phasePeriod(src)
+	planner := a.Planner
+	if planner == nil {
+		planner = CAPlanner{}
+	}
+	view := newSchedView(src)
+	tb := newTable(src, t, k, true)
+	// One phase every h rounds; the planner allocates accesses unevenly, so
+	// a "round" is m sorted accesses wherever they were spent.
+	period := h * m
+	sincePhase := 0
+	sinceProgress := 0
+	var pinBuf []Scored
+	for {
+		i := planner.Next(view)
+		if i == -1 {
+			// Every list exhausted: all grades are known, every bound is
+			// pinned, and the top-k is exact as it stands.
+			return a.finish(tb, view), nil
+		}
+		e, ok := src.SortedNext(i)
+		if !ok {
+			view.Exhausted[i] = true
+			continue
+		}
+		// Bounds age per access here (not per parallel round): any access
+		// lowers a bottom, so cached B values must refresh against it.
+		tb.depth++
+		view.PrevBottom[i] = view.Bottom[i]
+		view.Bottom[i] = e.Grade
+		view.Depth[i]++
+		view.Exhausted[i] = src.Exhausted(i)
+		for j := 0; j < m; j++ {
+			view.SinceAccess[j]++
+		}
+		view.SinceAccess[i] = 0
+		tb.observeSorted(i, e)
+		src.ReportBuffer(len(tb.parts))
+
+		sincePhase++
+		if sincePhase >= period {
+			sincePhase = 0
+			tb.randomPhase()
+		}
+		sinceProgress++
+		if a.OnProgress != nil && sinceProgress >= m {
+			sinceProgress = 0
+			pinBuf = pinned(tb, pinBuf)
+			ceil := a.ceiling(tb)
+			p := Progress{
+				TopK:      pinBuf,
+				Threshold: ceil,
+				Guarantee: math.Inf(1),
+				Depth:     maxInt(view.Depth),
+			}
+			p.Sorted, p.Random = src.Counts()
+			if len(pinBuf) == k && pinBuf[k-1].Grade > 0 {
+				p.Guarantee = math.Max(1, float64(ceil)/float64(pinBuf[k-1].Grade))
+			}
+			if !a.OnProgress(p) {
+				return a.stopEarly(tb, view, p.Guarantee), nil
+			}
+		}
+		if tb.halted() {
+			return a.finish(tb, view), nil
+		}
+	}
+}
+
+// finish pins the answer: every top-k member with missing fields is
+// resolved by random access. Sound because the stopping rule already
+// proved no outside object viable — resolution only raises member W values
+// (and therefore M_k), so the member set cannot change.
+func (a *CostAwareTA) finish(tb *table, view *SchedView) *Result {
+	// Each resolution re-sorts the member list, so scan afresh until no
+	// member has missing fields (≤ k resolutions: each pins one object).
+	for {
+		var target *partial
+		for _, p := range tb.topk {
+			if p.nKnown < tb.m {
+				target = p
+				break
+			}
+		}
+		if target == nil {
+			break
+		}
+		tb.resolveAll(target)
+	}
+	items := make([]Scored, len(tb.topk))
+	for i, p := range tb.topk {
+		items[i] = Scored{Object: p.obj, Grade: p.w, Lower: p.w, Upper: p.w}
+	}
+	sortScoredDesc(items)
+	return &Result{
+		Items:       items,
+		GradesExact: true,
+		Theta:       1,
+		Rounds:      maxInt(view.Depth),
+		Stats:       tb.src.Stats(),
+	}
+}
+
+// stopEarly assembles the result of a cancelled run: the candidates whose
+// exact grades are already known (possibly fewer than k). The sharded
+// engine relies on this — a cancelled worker's items must all carry exact
+// grades, because the coordinator merges them into an exact global heap.
+func (a *CostAwareTA) stopEarly(tb *table, view *SchedView, guarantee float64) *Result {
+	items := append([]Scored(nil), pinned(tb, nil)...)
+	sortScoredDesc(items)
+	return &Result{
+		Items:       items,
+		GradesExact: true,
+		Theta:       guarantee,
+		Rounds:      maxInt(view.Depth),
+		Stats:       tb.src.Stats(),
+	}
+}

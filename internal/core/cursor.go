@@ -184,16 +184,9 @@ func (c *NRACursor) Result() *Result { return c.tb.result(c.tb.depth) }
 // The slice is reused by the next Step.
 func (c *NRACursor) encounteredObjects() []model.ObjectID { return c.encountered }
 
-// randomPhase performs one CA Step-2 phase (Section 8.2): resolve by random
-// access every missing field of the seen, viable object with the largest B,
-// or do nothing if no such object exists (footnote 15's escape clause).
-func (c *NRACursor) randomPhase() {
-	target := c.tb.pickPhaseTarget()
-	if target == nil {
-		return
-	}
-	c.resolveFields(target)
-}
+// randomPhase performs one CA Step-2 phase (Section 8.2); see
+// table.randomPhase.
+func (c *NRACursor) randomPhase() { c.tb.randomPhase() }
 
 // resolve resolves all missing fields of a previously seen object by random
 // access (Intermittent's delayed TA accesses). It fails if the object has
@@ -203,22 +196,8 @@ func (c *NRACursor) resolve(obj model.ObjectID) error {
 	if p == nil {
 		return fmt.Errorf("core: queued object %d has no bookkeeping entry", obj)
 	}
-	c.resolveFields(p)
+	c.tb.resolveAll(p)
 	return nil
-}
-
-// resolveFields performs the random accesses for every missing field of p.
-func (c *NRACursor) resolveFields(p *partial) {
-	for j := 0; j < c.tb.m; j++ {
-		if p.known&(uint64(1)<<uint(j)) != 0 {
-			continue
-		}
-		g, ok := c.src.Random(j, p.obj)
-		if !ok {
-			continue
-		}
-		c.tb.learn(p.obj, j, g)
-	}
 }
 
 // fieldsKnown reports how many of obj's fields are known (0 if never seen).

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/model"
+import (
+	"repro/internal/access"
+	"repro/internal/model"
+)
 
 // SchedView is the per-list state visible to a sorted-access scheduler.
 // All slices have length m and are refreshed before every scheduling
@@ -19,10 +22,46 @@ type SchedView struct {
 	PrevBottom []model.Grade
 	// SinceAccess[i] counts scheduling steps since list i was accessed.
 	SinceAccess []int
+	// Costs[i] is the declared cost of one sorted access on list i
+	// (Backend.AccessCosts; 1 for plain lists). Nil means unit costs —
+	// cost-oblivious schedulers never read it.
+	Costs []float64
+}
+
+// sortedCost returns list i's declared sorted-access cost (1 when the view
+// carries no costs or the declared cost is non-positive).
+func (v *SchedView) sortedCost(i int) float64 {
+	if v.Costs == nil || v.Costs[i] <= 0 {
+		return 1
+	}
+	return v.Costs[i]
 }
 
 // eligible reports whether list i can be accessed now.
 func (v *SchedView) eligible(i int) bool { return v.Allowed[i] && !v.Exhausted[i] }
+
+// newSchedView initializes a scheduling view over src: policy capabilities,
+// the Section 7 convention x̄ᵢ = 1 before any sorted access, and each
+// list's declared sorted-access cost.
+func newSchedView(src *access.Source) *SchedView {
+	m := src.M()
+	v := &SchedView{
+		Allowed:     make([]bool, m),
+		Exhausted:   make([]bool, m),
+		Depth:       make([]int, m),
+		Bottom:      make([]model.Grade, m),
+		PrevBottom:  make([]model.Grade, m),
+		SinceAccess: make([]int, m),
+		Costs:       make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		v.Allowed[i] = src.CanSorted(i)
+		v.Bottom[i] = 1
+		v.PrevBottom[i] = 1
+		v.Costs[i] = src.AccessCost(i).CS
+	}
+	return v
+}
 
 // Scheduler chooses which sorted list TA accesses next. The paper's
 // algorithms do "sorted access in parallel"; footnote 6 notes correctness
@@ -81,16 +120,7 @@ func (d Delta) Next(v *SchedView) int {
 	if u <= 0 {
 		u = 2 * len(v.Depth)
 	}
-	// Fairness first: any starved list must be served.
-	starved := -1
-	for i := range v.Depth {
-		if v.eligible(i) && v.SinceAccess[i] >= u {
-			if starved == -1 || v.SinceAccess[i] > v.SinceAccess[starved] {
-				starved = i
-			}
-		}
-	}
-	if starved != -1 {
+	if starved := starvedList(v, u); starved != -1 {
 		return starved
 	}
 	// Otherwise pick the steepest recent grade drop; break ties toward
@@ -110,6 +140,83 @@ func (d Delta) Next(v *SchedView) int {
 		if best == -1 || drop > bestDrop || (drop == bestDrop && v.Depth[i] < v.Depth[best]) {
 			best = i
 			bestDrop = drop
+		}
+	}
+	return best
+}
+
+// starvedList returns the eligible list that has gone the longest without a
+// sorted access once any has waited u or more scheduling steps, or -1. The
+// heuristic schedulers serve it first — the paper's fairness fix ("each
+// list is accessed at least every u steps"), which restores instance
+// optimality for any heuristic preference.
+func starvedList(v *SchedView, u int) int {
+	starved := -1
+	for i := range v.Depth {
+		if v.eligible(i) && v.SinceAccess[i] >= u {
+			if starved == -1 || v.SinceAccess[i] > v.SinceAccess[starved] {
+				starved = i
+			}
+		}
+	}
+	return starved
+}
+
+// CAPlanner is the cost-aware sorted-access allocator: it deepens the list
+// whose next sorted access is expected to buy the largest threshold drop
+// per unit of declared charged cost. The threshold τ = t(x̄₁,…,x̄ₘ) falls
+// only when some bottom grade x̄ᵢ falls, and one sorted access on list i
+// costs that list's declared cS — so against heterogeneous backends (a
+// cheap local index next to an expensive web subsystem) the planner buys
+// its bound-tightening where it is cheapest, the sorted-access half of the
+// paper's CA argument that random accesses should be spent at the cR/cS
+// exchange rate. The expected drop of list i is estimated from its most
+// recent observed descent (PrevBottom − Bottom), with untouched lists
+// maximally optimistic so every list is sampled before the estimates take
+// over. Like Delta, the heuristic alone loses instance optimality, and the
+// same Fairness bound restores it.
+type CAPlanner struct {
+	// Fairness is the paper's u: no eligible list goes more than u
+	// scheduling steps without being accessed. Zero means u = 2m.
+	Fairness int
+}
+
+// Name implements Scheduler.
+func (CAPlanner) Name() string { return "ca-planner" }
+
+// Next implements Scheduler.
+func (p CAPlanner) Next(v *SchedView) int {
+	u := p.Fairness
+	if u <= 0 {
+		u = 2 * len(v.Depth)
+	}
+	if starved := starvedList(v, u); starved != -1 {
+		return starved
+	}
+	best := -1
+	bestValue := -1.0
+	for i := range v.Depth {
+		if !v.eligible(i) {
+			continue
+		}
+		drop := float64(v.PrevBottom[i] - v.Bottom[i])
+		if v.Depth[i] == 0 {
+			// Unread list: maximal optimism (grades live in [0,1], so 2
+			// beats any observed descent) — every list gets probed before
+			// the cost-per-drop estimates decide.
+			drop = 2
+		}
+		value := drop / v.sortedCost(i)
+		better := best == -1 || value > bestValue
+		if !better && value == bestValue {
+			// Ties: cheaper list first, then the shallower one, so equal
+			// descent rates degrade to cheapest-first lockstep.
+			better = v.sortedCost(i) < v.sortedCost(best) ||
+				(v.sortedCost(i) == v.sortedCost(best) && v.Depth[i] < v.Depth[best])
+		}
+		if better {
+			best = i
+			bestValue = value
 		}
 	}
 	return best

@@ -104,19 +104,7 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		sched = Lockstep{}
 	}
 
-	view := &SchedView{
-		Allowed:     make([]bool, m),
-		Exhausted:   make([]bool, m),
-		Depth:       make([]int, m),
-		Bottom:      make([]model.Grade, m),
-		PrevBottom:  make([]model.Grade, m),
-		SinceAccess: make([]int, m),
-	}
-	for i := 0; i < m; i++ {
-		view.Allowed[i] = src.CanSorted(i)
-		view.Bottom[i] = 1 // x̄ᵢ = 1 before any sorted access (Section 7)
-		view.PrevBottom[i] = 1
-	}
+	view := newSchedView(src)
 
 	heap := NewTopKBuffer(k)
 	var memo map[model.ObjectID]model.Grade

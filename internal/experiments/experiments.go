@@ -1,9 +1,11 @@
 // Package experiments is the reproduction harness: one registered
 // experiment per table, figure, or quantitative claim in the paper's
-// evaluation (see DESIGN.md's per-experiment index E01–E17). Each
+// evaluation (E01–E17), plus the extension experiments measuring this
+// repo's engineering on top of the paper's model (E18–E24). Each
 // experiment runs the relevant algorithms on the relevant database family
 // and emits a printable table of paper-expected versus measured values;
-// cmd/experiments renders them, and EXPERIMENTS.md records the output.
+// cmd/experiments renders them, and docs/EXPERIMENTS.md catalogs what
+// each one measures and which paper claim it echoes.
 package experiments
 
 import (

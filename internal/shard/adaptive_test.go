@@ -1,0 +1,201 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// lyingShardStack partitions db into p shards where shard 0's backends are
+// truly factor× more expensive (billed cost and latency alike) but declare
+// the same cheap cost model as everyone else — the fixture the EWMA
+// observed-cost feedback is measured against. Shard 0 is deliberately
+// first: a declared-cost scheduler breaks the all-equal tie toward it and
+// runs the expensive shard deep while the global M_k is still low.
+func lyingShardStack(t testing.TB, db *model.Database, p int, factor float64, lat time.Duration) *shard.Engine {
+	t.Helper()
+	dbs, err := db.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := access.CostModel{CS: 1, CR: 8}
+	shards := make([]shard.ShardBackend, len(dbs))
+	for s, sdb := range dbs {
+		truth := declared
+		var l access.Latency
+		if s == 0 {
+			truth = access.CostModel{CS: declared.CS * factor, CR: declared.CR * factor}
+			l = access.Latency{Sorted: lat, Random: lat, Jitter: 0.3, Seed: 1}
+		}
+		lists := make([]access.ListSource, sdb.M())
+		for i := range lists {
+			lists[i] = access.NewMisdeclared(access.NewRemote(sdb.List(i), truth, l), declared)
+		}
+		shards[s] = shard.ShardBackend{DB: sdb, Lists: lists}
+	}
+	eng, err := shard.FromBackends(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestAdaptiveScheduleMatchesWaveOnLyingBackends: scheduling only reorders
+// work — against backends whose declarations lie, the adaptive schedule
+// must still return exactly the wave schedule's answer, with zero random
+// accesses.
+func TestAdaptiveScheduleMatchesWaveOnLyingBackends(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 4000, M: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	want, err := lyingShardStack(t, db, 4, 16, 0).Query(tf, 10, shard.Options{
+		NoRandomAccess: true, Workers: 1, Schedule: shard.ScheduleWave,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lyingShardStack(t, db, 4, 16, 20*time.Microsecond).Query(tf, 10, shard.Options{
+		NoRandomAccess: true, Workers: 1, Schedule: shard.ScheduleAdaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan depths (and therefore the answer's [W, B] intervals and their
+	// W-order) legitimately differ between schedules; the top-k *object
+	// set* must not. It is unique here — the workload has distinct grades.
+	wantSet := make(map[model.ObjectID]bool, len(want.Items))
+	for _, it := range want.Items {
+		wantSet[it.Object] = true
+	}
+	for _, it := range got.Items {
+		if !wantSet[it.Object] {
+			t.Fatalf("adaptive answer object %d not in the wave answer %v", it.Object, want.Items)
+		}
+	}
+	if len(got.Items) != len(want.Items) {
+		t.Fatalf("adaptive returned %d items, wave %d", len(got.Items), len(want.Items))
+	}
+	if got.Stats.Random != 0 {
+		t.Fatalf("adaptive schedule made %d random accesses", got.Stats.Random)
+	}
+}
+
+// TestAdaptiveScheduleSingleShard: at P = 1 the feedback is a no-op — the
+// adaptive schedule performs exactly the declared-cost schedule's sorted
+// accesses and returns its answer, only the probe bookkeeping (resume
+// counts) differing.
+func TestAdaptiveScheduleSingleShard(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 3000, M: 3, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	run := func(sched shard.Schedule) (*shard.Engine, *core.Result) {
+		eng, err := shard.New(db, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query(tf, 10, shard.Options{NoRandomAccess: true, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, res
+	}
+	_, declared := run(shard.ScheduleCostAware)
+	_, adaptive := run(shard.ScheduleAdaptive)
+	assertItemsEqual(t, "P=1 adaptive vs cost-aware", adaptive.Items, declared.Items)
+	if adaptive.Stats.Sorted != declared.Stats.Sorted {
+		t.Fatalf("P=1 adaptive performed %d sorted accesses, declared-cost %d",
+			adaptive.Stats.Sorted, declared.Stats.Sorted)
+	}
+}
+
+// TestShardStatsObservability pins the OnShardStats contract on both
+// engine modes: the callback fires exactly once per run with one entry per
+// shard, every Elapsed is non-negative (and positive when the backend
+// injects real latency), and resume counts appear only where the mode can
+// resume.
+func TestShardStatsObservability(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 2000, M: 3, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	const p = 4
+	cases := []struct {
+		name string
+		eng  *shard.Engine
+		opts shard.Options
+	}{
+		{"ta", mustEngine(t, db, p), shard.Options{}},
+		{"ta-cost-aware", mustEngine(t, db, p), shard.Options{CostAwareTA: true}},
+		{"nra-wave", mustEngine(t, db, p), shard.Options{NoRandomAccess: true}},
+		{"nra-adaptive-lying", lyingShardStack(t, db, p, 16, 20*time.Microsecond),
+			shard.Options{NoRandomAccess: true, Workers: 1, Schedule: shard.ScheduleAdaptive}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for run := 0; run < 2; run++ {
+				calls := 0
+				var got []shard.ShardStat
+				opts := c.opts
+				opts.OnShardStats = func(stats []shard.ShardStat) {
+					calls++
+					got = stats
+				}
+				if _, err := c.eng.Query(tf, 10, opts); err != nil {
+					t.Fatal(err)
+				}
+				if calls != 1 {
+					t.Fatalf("run %d: OnShardStats fired %d times, want exactly once", run, calls)
+				}
+				if len(got) != p {
+					t.Fatalf("run %d: %d shard stats, want %d", run, len(got), p)
+				}
+				for s, st := range got {
+					if st.Elapsed < 0 {
+						t.Fatalf("run %d: shard %d reported negative elapsed %v", run, s, st.Elapsed)
+					}
+					if st.Resumes < 0 {
+						t.Fatalf("run %d: shard %d reported negative resumes %d", run, s, st.Resumes)
+					}
+					if !c.opts.NoRandomAccess && st.Resumes != 0 {
+						t.Fatalf("run %d: TA-mode shard %d reports %d resumes; TA workers never resume", run, s, st.Resumes)
+					}
+					if st.Stats.Sorted > 0 && st.Elapsed == 0 {
+						t.Fatalf("run %d: shard %d did %d sorted accesses in zero observed time", run, s, st.Stats.Sorted)
+					}
+				}
+				if c.name == "nra-adaptive-lying" {
+					if got[0].Elapsed <= 0 {
+						t.Fatalf("run %d: latency-injecting shard 0 reported elapsed %v", run, got[0].Elapsed)
+					}
+					total := 0
+					for _, st := range got {
+						total += st.Resumes
+					}
+					if total == 0 {
+						t.Fatalf("run %d: adaptive probing reported zero resumes across all shards", run)
+					}
+				}
+			}
+		})
+	}
+}
+
+func mustEngine(t *testing.T, db *model.Database, p int) *shard.Engine {
+	t.Helper()
+	eng, err := shard.New(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}

@@ -1,0 +1,94 @@
+// Observed-cost feedback for the no-random-access scheduler. The
+// cost-aware schedule ranks shards by bound-tightening per unit of
+// *declared* step cost (core.NRACursor.StepCost) — a prior that is only as
+// good as the backends' published price lists. costEstimator closes the
+// loop: every resume batch reports how long the shard actually took per
+// sorted-access round (ShardStat.Elapsed over the resume's rounds), an
+// exponentially weighted moving average smooths the observations, and the
+// estimates are mapped back into declared-cost units so the scheduler's
+// priorities stay comparable. Backends whose declarations lie — a
+// "cheap" subsystem that stalls, an "expensive" one that answers from a
+// warm replica — are re-priced by evidence within a few probes.
+package shard
+
+import "time"
+
+// adaptiveProbeRounds bounds how many sorted-access rounds one adaptive
+// resume may run before control returns to the scheduler. Declared-cost
+// scheduling can afford to run a shard until it pauses — its priorities
+// never change mid-run — but an adaptive scheduler must interleave probing
+// with deciding: without the bound, the very first pick (made on unproven
+// declarations) would run a possibly-lying shard all the way to its local
+// halting depth before the first observation existed.
+const adaptiveProbeRounds = 32
+
+// ewmaAlpha weighs the newest observation against the running average.
+// 0.5 converges within a handful of probes while still damping one-off
+// scheduling hiccups.
+const ewmaAlpha = 0.5
+
+// costEstimator maintains per-shard EWMA estimates of observed per-round
+// cost, in declared-cost units. Not safe for concurrent use: the adaptive
+// scheduler serializes resumes, observing between batches.
+type costEstimator struct {
+	declared []float64 // the priors: declared per-round step cost
+	ewma     []float64 // observed ns per round, EWMA; meaningful iff seen
+	seen     []bool
+	alpha    float64
+}
+
+// newCostEstimator starts an estimator over the declared per-shard step
+// costs (the values Estimate falls back to while a shard is unobserved).
+func newCostEstimator(declared []float64, alpha float64) *costEstimator {
+	return &costEstimator{
+		declared: declared,
+		ewma:     make([]float64, len(declared)),
+		seen:     make([]bool, len(declared)),
+		alpha:    alpha,
+	}
+}
+
+// Observe folds one resume batch into shard s's estimate: rounds
+// sorted-access rounds took elapsed wall-clock (backend latency included).
+// Non-positive batches are ignored.
+func (e *costEstimator) Observe(s, rounds int, elapsed time.Duration) {
+	if rounds <= 0 || elapsed < 0 {
+		return
+	}
+	perRound := float64(elapsed) / float64(rounds)
+	if perRound < 1 {
+		perRound = 1 // clock granularity floor: keep every estimate positive
+	}
+	if !e.seen[s] {
+		e.seen[s] = true
+		e.ewma[s] = perRound
+		return
+	}
+	e.ewma[s] = e.alpha*perRound + (1-e.alpha)*e.ewma[s]
+}
+
+// Estimate returns shard s's per-round step cost in declared-cost units:
+// the declared prior while s is unobserved, otherwise the observed EWMA
+// rescaled by the fleet-wide ns-per-declared-unit ratio κ. The scale makes
+// the estimates dimensionally comparable with unobserved shards' priors,
+// and makes truth-telling backends a fixed point: when observations are
+// proportional to declarations, Estimate returns the declared costs — in
+// particular a single-shard run's estimate always equals its prior, so
+// feedback is a no-op there.
+func (e *costEstimator) Estimate(s int) float64 {
+	if !e.seen[s] {
+		return e.declared[s]
+	}
+	var obsNS, obsDeclared float64
+	for i := range e.ewma {
+		if e.seen[i] {
+			obsNS += e.ewma[i]
+			obsDeclared += e.declared[i]
+		}
+	}
+	if obsNS <= 0 || obsDeclared <= 0 {
+		return e.declared[s]
+	}
+	kappa := obsNS / obsDeclared // observed ns per declared cost unit
+	return e.ewma[s] / kappa
+}

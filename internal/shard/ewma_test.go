@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestCostEstimatorFallsBackToDeclared: with zero observations every
+// estimate is exactly the declared prior, and partial observation only
+// overrides the observed shards.
+func TestCostEstimatorFallsBackToDeclared(t *testing.T) {
+	e := newCostEstimator([]float64{3, 5, 7}, ewmaAlpha)
+	for s, want := range []float64{3, 5, 7} {
+		if got := e.Estimate(s); got != want {
+			t.Fatalf("unobserved shard %d: estimate %g, want declared %g", s, got, want)
+		}
+	}
+	e.Observe(1, 10, 10*time.Millisecond)
+	if got := e.Estimate(0); got != 3 {
+		t.Fatalf("still-unobserved shard 0: estimate %g, want declared 3", got)
+	}
+	if got := e.Estimate(2); got != 7 {
+		t.Fatalf("still-unobserved shard 2: estimate %g, want declared 7", got)
+	}
+	// Degenerate observations are ignored, not folded in.
+	e2 := newCostEstimator([]float64{2}, ewmaAlpha)
+	e2.Observe(0, 0, time.Second)
+	e2.Observe(0, -1, time.Second)
+	e2.Observe(0, 5, -time.Second)
+	if got := e2.Estimate(0); got != 2 {
+		t.Fatalf("degenerate observations changed the estimate: %g", got)
+	}
+}
+
+// TestCostEstimatorLearnsLyingBackend: equal declared costs, but one shard
+// observed 16× slower — the estimates must recover the true 16× ratio (and
+// keep the fleet's total cost mass on the declared scale).
+func TestCostEstimatorLearnsLyingBackend(t *testing.T) {
+	e := newCostEstimator([]float64{3, 3, 3, 3}, ewmaAlpha)
+	for s := 0; s < 4; s++ {
+		per := time.Microsecond
+		if s == 0 {
+			per = 16 * time.Microsecond
+		}
+		for i := 0; i < 4; i++ {
+			e.Observe(s, 32, 32*per)
+		}
+	}
+	slow, fast := e.Estimate(0), e.Estimate(1)
+	if !almostEqual(slow/fast, 16, 1e-9) {
+		t.Fatalf("estimate ratio %g, want 16 (slow %g, fast %g)", slow/fast, slow, fast)
+	}
+	// The rescaling keeps totals on the declared scale: Σ estimates over
+	// observed shards == Σ declared.
+	sum := e.Estimate(0) + e.Estimate(1) + e.Estimate(2) + e.Estimate(3)
+	if !almostEqual(sum, 12, 1e-9) {
+		t.Fatalf("estimates sum to %g, want the declared total 12", sum)
+	}
+}
+
+// TestCostEstimatorConvergesWhenBackendSpeedsUp: a shard that was slow and
+// then speeds up mid-run has its estimate converge to the new rate.
+func TestCostEstimatorConvergesWhenBackendSpeedsUp(t *testing.T) {
+	e := newCostEstimator([]float64{1, 1}, ewmaAlpha)
+	// A stable reference shard keeps the scale meaningful.
+	for i := 0; i < 12; i++ {
+		e.Observe(1, 8, 8*time.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		e.Observe(0, 8, 8*16*time.Microsecond)
+	}
+	slowEst := e.Estimate(0)
+	// Estimates are normalized to the declared total (2 here), so the slow
+	// phase should push shard 0 toward that ceiling…
+	if slowEst <= 1.5*e.Estimate(1) {
+		t.Fatalf("slow phase not learned: %g vs reference %g", slowEst, e.Estimate(1))
+	}
+	for i := 0; i < 12; i++ {
+		e.Observe(0, 8, 8*time.Microsecond) // the backend warmed up
+	}
+	fastEst := e.Estimate(0)
+	// …and the speed-up should pull it back to parity with the reference.
+	if fastEst >= slowEst {
+		t.Fatalf("estimate did not fall after speed-up: %g (was %g)", fastEst, slowEst)
+	}
+	if !almostEqual(fastEst/e.Estimate(1), 1, 0.05) {
+		t.Fatalf("converged estimate %g should approach the reference %g", fastEst, e.Estimate(1))
+	}
+}
+
+// TestCostEstimatorSingleShardNoOp: with one shard the feedback is a no-op
+// by construction — whatever is observed, the estimate equals the declared
+// prior, so adaptive and declared-cost scheduling coincide at P = 1.
+func TestCostEstimatorSingleShardNoOp(t *testing.T) {
+	e := newCostEstimator([]float64{5}, ewmaAlpha)
+	for i := 0; i < 10; i++ {
+		e.Observe(0, 32, time.Duration(1+i)*time.Millisecond)
+		if got := e.Estimate(0); !almostEqual(got, 5, 1e-9) {
+			t.Fatalf("single-shard estimate drifted to %g, want declared 5", got)
+		}
+	}
+}

@@ -286,7 +286,7 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 	switch sched {
 	case ScheduleAuto:
 		sched = ScheduleWave
-	case ScheduleWave, ScheduleCostAware:
+	case ScheduleWave, ScheduleCostAware, ScheduleAdaptive:
 	default:
 		return nil, fmt.Errorf("%w: unknown schedule %q", core.ErrBadQuery, sched)
 	}
@@ -315,14 +315,25 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 	// scheduler resumes every unresolved shard concurrently; the
 	// cost-aware scheduler serializes, always resuming the shard whose
 	// ceiling exceeds M_k the most per unit of expected per-round cost.
+	// The adaptive scheduler additionally bounds each resume to a probe of
+	// adaptiveProbeRounds rounds and replaces the declared step costs with
+	// EWMA estimates from each probe's observed wall-clock, so its
+	// priorities recover even when the declared costs lie.
+	serialized := sched == ScheduleCostAware || sched == ScheduleAdaptive
+	var est *costEstimator
+	probe := 0
+	if sched == ScheduleAdaptive {
+		est = newCostEstimator(append([]float64(nil), stepCost...), ewmaAlpha)
+		probe = adaptiveProbeRounds
+	}
 	next := func() []int {
-		if sched == ScheduleCostAware {
+		if serialized {
 			return coord.pickCostAware(stepCost)
 		}
 		return coord.unresolved()
 	}
 	var pending []int
-	if sched == ScheduleCostAware {
+	if serialized {
 		pending = next()
 	} else {
 		pending = make([]int, p)
@@ -344,9 +355,19 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		ForEach(len(batch), opts.Workers, func(i int) {
 			s := batch[i]
 			start := time.Now()
-			defer func() { elapsed[s] += time.Since(start) }()
+			depth0 := cursors[s].Depth()
+			defer func() {
+				d := time.Since(start)
+				elapsed[s] += d
+				if est != nil {
+					// Adaptive batches are singletons (pickCostAware), so
+					// the estimator is never touched concurrently; ForEach
+					// joins before the scheduler reads the estimates.
+					est.Observe(s, cursors[s].Depth()-depth0, d)
+				}
+			}()
 			cur := cursors[s]
-			since := 0
+			since, rounds := 0, 0
 			for {
 				if coord.stopped.Load() {
 					return
@@ -361,6 +382,13 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 					return
 				}
 				since++
+				rounds++
+				if probe > 0 && rounds >= probe {
+					// Probe budget spent: publish (the scheduler decides on
+					// coordinator state, never on a stale view) and yield.
+					coord.publish(s, cur.View())
+					return
+				}
 				if !shouldPublish(plan, since, cur, coord.globalMk()) {
 					continue
 				}
@@ -372,6 +400,11 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if est != nil {
+			for s := range stepCost {
+				stepCost[s] = est.Estimate(s)
+			}
 		}
 		pending = next()
 	}

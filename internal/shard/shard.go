@@ -83,6 +83,16 @@ const (
 	// shallower than they would in a wave — trading intra-query
 	// parallelism for charged middleware cost on skewed backend sets.
 	ScheduleCostAware Schedule = "cost-aware"
+	// ScheduleAdaptive is ScheduleCostAware with observed-cost feedback:
+	// resumes are bounded probes (adaptiveProbeRounds rounds), each
+	// probe's wall-clock per round feeds a per-shard EWMA estimator, and
+	// the scheduler ranks shards by the estimates instead of the declared
+	// step costs once a shard has been observed. Use it when backends'
+	// declared cost models cannot be trusted — the estimator re-prices a
+	// lying backend within a few probes, and degrades to exactly the
+	// declared costs when the backends tell the truth (in particular a
+	// single-shard run schedules identically to ScheduleCostAware).
+	ScheduleAdaptive Schedule = "adaptive"
 )
 
 // ShardStat is one shard's per-query observability record: its worker's
@@ -106,6 +116,23 @@ type Options struct {
 	// no effect in the no-random-access mode, which performs no random
 	// accesses to cache.
 	Memoize bool
+	// CostAwareTA replaces the TA-mode workers with core.CostAwareTA: each
+	// shard allocates sorted accesses cheapest-threshold-drop-first
+	// (core.CAPlanner) and spends random access at the CA cadence h ≈
+	// cR/cS derived from its backends' declared costs, instead of
+	// resolving every encountered object immediately. Answers carry exact
+	// grades and the same true-grade multiset as the plain TA mode, but
+	// ties at the k-th grade are broken arbitrarily rather than
+	// canonically, so tied object sets may differ between shard counts.
+	// Incompatible with NoRandomAccess (rejected with ErrBadQuery): the
+	// sorted-only mode spends no random accesses to plan, and its
+	// cost-awareness lives in Options.Schedule instead.
+	CostAwareTA bool
+	// Costs is the cost model cost-aware TA workers derive their phase
+	// period h from when a shard's backends declare no costs of their own
+	// (declared backend costs always win). Zero means unit costs. Ignored
+	// without CostAwareTA.
+	Costs access.CostModel
 	// NoRandomAccess answers the query with one resumable NRA worker per
 	// shard instead of TA workers — sorted access only, the search-engine
 	// scenario of Section 8.1 (see nra.go). The answer is the exact top-k
@@ -415,6 +442,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	if err := core.ValidateQueryShape(e.m, e.n, t, k); err != nil {
 		return nil, err
 	}
+	if opts.CostAwareTA && opts.NoRandomAccess {
+		return nil, fmt.Errorf("%w: cost-aware TA needs random access; the no-random-access mode plans costs through Options.Schedule instead", core.ErrBadQuery)
+	}
 	if opts.NoRandomAccess {
 		return e.queryNRA(ctx, t, k, opts)
 	}
@@ -436,32 +466,40 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 			ks = n // a shard smaller than k contributes all its objects
 		}
 		var last []core.Scored
-		ta := &core.TA{
-			StrictStop: true,
-			Memoize:    opts.Memoize,
-			OnProgress: func(pr core.Progress) bool {
-				if coord.stopped.Load() {
-					return false
-				}
-				if ctx.Err() != nil {
-					coord.abort()
-					return false
-				}
-				if !equalScored(last, pr.TopK) {
-					last = pr.TopK
-					coord.merge(pr.TopK)
-				}
-				// Keep running while an unseen object could still reach
-				// the answer: τ_s below the global kth grade means every
-				// unseen object of this shard is strictly worse than k
-				// known candidates; a tie at the kth grade keeps the
-				// shard alive so the canonical (grade, ObjectID) order
-				// is fully resolved.
-				return !(float64(pr.Threshold) < coord.kth())
-			},
+		onProgress := func(pr core.Progress) bool {
+			if coord.stopped.Load() {
+				return false
+			}
+			if ctx.Err() != nil {
+				coord.abort()
+				return false
+			}
+			if !equalScored(last, pr.TopK) {
+				last = append(last[:0], pr.TopK...)
+				coord.merge(pr.TopK)
+			}
+			// Keep running while an unseen object could still reach
+			// the answer: τ_s below the global kth grade means every
+			// unseen object of this shard is strictly worse than k
+			// known candidates; a tie at the kth grade keeps the
+			// shard alive so the canonical (grade, ObjectID) order
+			// is fully resolved. (In the cost-aware mode Threshold is
+			// the worker's whole B-ceiling — unseen objects, partial
+			// candidates and unpinned members alike — so the same
+			// comparison covers everything the worker has not yet
+			// published with an exact grade.)
+			return !(float64(pr.Threshold) < coord.kth())
+		}
+		var al core.Algorithm
+		if opts.CostAwareTA {
+			// CostAwareTA memoizes inherently (its bound bookkeeping keeps
+			// every seen object), so Options.Memoize has nothing to add.
+			al = &core.CostAwareTA{Costs: opts.Costs, OnProgress: onProgress}
+		} else {
+			al = &core.TA{StrictStop: true, Memoize: opts.Memoize, OnProgress: onProgress}
 		}
 		start := time.Now()
-		res, err := ta.Run(e.source(s, access.AllowAll), t, ks)
+		res, err := al.Run(e.source(s, access.AllowAll), t, ks)
 		elapsed[s] = time.Since(start)
 		if err != nil {
 			errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)

@@ -130,6 +130,19 @@ type Options struct {
 	// Memoize lets TA cache grades (unbounded buffer, fewer repeat
 	// random accesses).
 	Memoize bool
+	// CostAwareTA makes the TA engine cost-adaptive (the paper's CA
+	// argument applied to TA's contract): sorted accesses are allocated
+	// cheapest-threshold-drop-first (core.CAPlanner) and random accesses
+	// are spent one resolution phase every h ≈ cR/cS sorted-access
+	// rounds instead of on every encountered object, with h derived from
+	// the backends' declared cost models (Options.Costs when the lists
+	// declare nothing). Answers carry exact grades and the same
+	// true-grade multiset as plain TA; ties at the k-th grade are broken
+	// arbitrarily, so tied object sets may differ. Composes with Shards
+	// (each shard worker plans its own backends' costs). Requires the TA
+	// algorithm with random access: combining it with another Algorithm,
+	// NoRandomAccess, or θ-approximation is rejected with ErrBadQuery.
+	CostAwareTA bool
 	// OnProgress, when non-nil, is invoked by TA and NRA after every
 	// sorted access (NRA: every sorted-access round); returning false
 	// stops early with the current view.
@@ -253,6 +266,13 @@ const (
 	// ScheduleCostAware resumes the shard with the best bound-tightening
 	// per unit of expected cost, one at a time.
 	ScheduleCostAware = shard.ScheduleCostAware
+	// ScheduleAdaptive is ScheduleCostAware with observed-cost feedback:
+	// bounded probe resumes feed a per-shard EWMA of observed per-round
+	// latency that overrides the declared step costs, so the schedule
+	// keeps its charged-cost savings even when backends' declared cost
+	// models lie. With truthful backends (and always at one shard) it
+	// degrades to the declared-cost schedule.
+	ScheduleAdaptive = shard.ScheduleAdaptive
 )
 
 // PublishPolicy selects when sharded no-random-access workers publish to
@@ -328,6 +348,9 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 	if opts.Algorithm == AlgoTA && opts.NoRandomAccess {
 		return nil, fmt.Errorf("%w: TA needs random access; drop NoRandomAccess or use AlgoNRA for sharded sorted-only queries", ErrBadQuery)
 	}
+	if opts.CostAwareTA && noRandom {
+		return nil, fmt.Errorf("%w: CostAwareTA needs random access; the sharded sorted-only mode is scheduled cost-aware via Options.Schedule instead", ErrBadQuery)
+	}
 	if opts.Theta != 0 && opts.Theta < 1 {
 		return nil, fmt.Errorf("%w: θ must be at least 1, got %g", ErrBadQuery, opts.Theta)
 	}
@@ -356,6 +379,8 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 	return eng.Query(t, k, ShardOptions{
 		Workers:        opts.ShardWorkers,
 		Memoize:        opts.Memoize,
+		CostAwareTA:    opts.CostAwareTA,
+		Costs:          costs,
 		NoRandomAccess: noRandom,
 		Publish:        opts.Publish,
 		PublishEvery:   opts.PublishEvery,
@@ -565,10 +590,25 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 			name = AlgoTA
 		}
 	}
+	if opts.CostAwareTA {
+		if name != AlgoTA {
+			return nil, access.Policy{}, fmt.Errorf("%w: CostAwareTA requires the TA algorithm, got %q", ErrBadQuery, name)
+		}
+		if opts.NoRandomAccess {
+			return nil, access.Policy{}, fmt.Errorf("%w: CostAwareTA needs random access; use NRA (with Schedule for cost-awareness) when random access is impossible", ErrBadQuery)
+		}
+		if opts.Theta > 1 {
+			return nil, access.Policy{}, fmt.Errorf("%w: CostAwareTA computes exact answers; θ-approximation is not supported", ErrBadQuery)
+		}
+	}
 	var al core.Algorithm
 	switch name {
 	case AlgoTA:
-		al = &core.TA{Theta: opts.Theta, Memoize: opts.Memoize, OnProgress: opts.OnProgress}
+		if opts.CostAwareTA {
+			al = &core.CostAwareTA{Costs: costs, OnProgress: opts.OnProgress}
+		} else {
+			al = &core.TA{Theta: opts.Theta, Memoize: opts.Memoize, OnProgress: opts.OnProgress}
+		}
 	case AlgoFA:
 		al = core.FA{}
 	case AlgoNRA:

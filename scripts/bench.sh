@@ -10,14 +10,19 @@
 # BENCH_topk.txt in the repository root. The default pattern covers every
 # benchmark, and the run fails if any guarded concurrency benchmark
 # (BenchmarkShardedTA, BenchmarkShardedNRA, BenchmarkSharedScan,
-# BenchmarkRemoteShards) is missing from the output, so the perf
-# trajectory always tracks both sharded modes, the shared-scan batch
-# executor, and the remote-backend stack (scheduler cancellation savings
-# and cache hit rate).
+# BenchmarkRemoteShards, BenchmarkCostAwareTA, BenchmarkAdaptiveSchedule)
+# is missing from the output, so the perf trajectory always tracks both
+# sharded modes, the shared-scan batch executor, the remote-backend stack
+# (scheduler cancellation savings and cache hit rate), and the
+# cost-adaptive planners (cost-aware TA's charged saving over plain TA and
+# the EWMA schedule's saving on lying backends).
 set -eu
 
 cd "$(dirname "$0")/.."
 pattern="${1:-.}"
+
+# Documentation must stay navigable before the numbers matter.
+sh scripts/docs-check.sh
 
 # Capture to the file first and check go test's own exit status: in a
 # `go test | tee` pipeline the shell reports tee's status, so a failing
@@ -31,7 +36,7 @@ go test -run '^$' -bench "$pattern" -benchmem . > BENCH_topk.txt 2>&1 || {
 cat BENCH_topk.txt
 
 if [ "$pattern" = "." ]; then
-    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan BenchmarkRemoteShards; do
+    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan BenchmarkRemoteShards BenchmarkCostAwareTA BenchmarkAdaptiveSchedule; do
         if ! grep -q "^$required" BENCH_topk.txt; then
             echo "bench.sh: expected $required in the benchmark output" >&2
             exit 1
@@ -87,6 +92,26 @@ awk '
 }
 END {
     printf "{\"summary\":\"backend-cache\""
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
+
+# Append the cost-adaptive summary: cost-aware TA's charged saving over
+# plain TA and the adaptive (EWMA) schedule's saving over declared-cost
+# scheduling on the lying-backend fixture.
+awk '
+/^Benchmark/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "charged-ta" || unit == "charged-cost-aware-ta" || unit == "ta-savings" || unit == "ta-savings-r16" || unit == "charged-declared" || unit == "charged-adaptive" || unit == "adaptive-savings") {
+            keys[++nk] = $1 ":" unit
+            vals[nk] = $i
+        }
+    }
+}
+END {
+    printf "{\"summary\":\"cost-adaptive\""
     for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
     print "}"
 }

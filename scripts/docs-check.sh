@@ -1,0 +1,30 @@
+#!/bin/sh
+# Fail on broken relative links in README.md and docs/*.md: every
+# ](target) whose target is not an URL or a pure anchor must resolve to an
+# existing file or directory, relative to the file containing the link.
+# Plain grep/sed, no dependencies — run by CI's docs-check step and by
+# scripts/bench.sh.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    links=$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|"#"*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "docs-check: $f links to missing $target" >&2
+            status=1
+        fi
+    done
+done
+if [ "$status" -eq 0 ]; then
+    echo "docs-check: all relative links resolve" >&2
+fi
+exit $status
