@@ -1,0 +1,58 @@
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// TestShardedTAAllocationBudget is the allocation regression guard for the
+// columnar engine: a warm sharded-TA query must stay well under one
+// mebibyte of heap allocation. The pre-columnar engine allocated 5–6 MB
+// per query (candidate maps, per-query sources, row materialization);
+// slab-allocated candidates, pooled per-shard sources and column-backed
+// batch reads brought it under 100 KB, and this test fails loudly if a
+// regression claws back the budget. TotalAlloc is monotonic and unaffected
+// by GC timing, so the measurement is stable; averaging over several
+// queries absorbs pool-warmup and map-growth noise.
+func TestShardedTAAllocationBudget(t *testing.T) {
+	db, err := workload.IndependentUniform(workload.Spec{N: 50000, M: 3, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := agg.Avg(3)
+	const k = 10
+	eng, err := shard.New(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := func() {
+		res, err := eng.Query(tf, k, shard.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Items) != k {
+			t.Fatalf("got %d items", len(res.Items))
+		}
+	}
+	// Warm the source pools and coordinator state first.
+	for i := 0; i < 3; i++ {
+		query()
+	}
+	const runs = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		query()
+	}
+	runtime.ReadMemStats(&after)
+	perQuery := (after.TotalAlloc - before.TotalAlloc) / runs
+	const budget = 1 << 20
+	if perQuery >= budget {
+		t.Fatalf("sharded TA allocates %d B per warm query, budget %d", perQuery, budget)
+	}
+	t.Logf("sharded TA allocates %d B per warm query (budget %d)", perQuery, budget)
+}

@@ -160,15 +160,18 @@ func (v Violation) Error() string {
 // access, keyed probes for random access, and capability flags. Every
 // algorithm in internal/core runs against a Source and nothing else.
 type Source struct {
-	lists  []ListSource
-	costed []CostedList // non-nil where lists[i] reports per-access costs
-	costs  []CostModel  // per-list declared cost model (UnitCosts default)
-	pos    []int        // next unread sorted position per list
-	policy Policy
-	stats  Stats
+	lists       []ListSource
+	costed      []CostedList      // non-nil where lists[i] reports per-access costs
+	batch       []BatchList       // non-nil where lists[i] serves batched reads
+	costedBatch []CostedBatchList // non-nil where lists[i] serves costed batched reads
+	costs       []CostModel       // per-list declared cost model (UnitCosts default)
+	pos         []int             // next unread sorted position per list
+	policy      Policy
+	stats       Stats
 
-	seenSorted map[model.ObjectID]bool // for wild-guess detection
-	trace      *Trace                  // optional access recorder
+	seen    seenSet   // objects returned by sorted access (wild-guess detection)
+	costBuf []float64 // scratch for batched per-entry costs
+	trace   *Trace    // optional access recorder
 }
 
 // New creates a Source over db with the given policy.
@@ -193,18 +196,25 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 		}
 	}
 	s := &Source{
-		lists:      lists,
-		costed:     make([]CostedList, len(lists)),
-		costs:      make([]CostModel, len(lists)),
-		pos:        make([]int, len(lists)),
-		policy:     policy,
-		stats:      Stats{PerList: make([]int64, len(lists))},
-		seenSorted: make(map[model.ObjectID]bool),
+		lists:       lists,
+		costed:      make([]CostedList, len(lists)),
+		batch:       make([]BatchList, len(lists)),
+		costedBatch: make([]CostedBatchList, len(lists)),
+		costs:       make([]CostModel, len(lists)),
+		pos:         make([]int, len(lists)),
+		policy:      policy,
+		stats:       Stats{PerList: make([]int64, len(lists))},
 	}
 	for i, l := range lists {
 		s.costs[i] = BackendCosts(l)
 		if cl, ok := l.(CostedList); ok {
 			s.costed[i] = cl
+		}
+		if bl, ok := l.(BatchList); ok {
+			s.batch[i] = bl
+		}
+		if cbl, ok := l.(CostedBatchList); ok {
+			s.costedBatch[i] = cbl
 		}
 	}
 	return s
@@ -250,13 +260,83 @@ func (s *Source) SortedNext(i int) (e model.Entry, ok bool) {
 	s.pos[i]++
 	s.stats.Sorted++
 	s.stats.PerList[i]++
-	s.seenSorted[e.Object] = true
+	s.seen.add(e.Object)
 	if s.trace != nil {
 		s.trace.Entries = append(s.trace.Entries, TraceEntry{
 			Sorted: true, List: i, Object: e.Object, Grade: e.Grade, OK: true,
 		})
 	}
 	return e, true
+}
+
+// SortedNextN performs up to len(buf) consecutive sorted accesses on list i
+// in one call, filling buf from the front and returning how many entries it
+// produced (0 when the list is exhausted, recorded like a failed
+// SortedNext). The entries, per-entry charged costs, Stats deltas, seen-set
+// updates and trace records are exactly those of the equivalent run of
+// SortedNext calls — batching amortizes call and bookkeeping overhead, not
+// the paper's access accounting. It panics with Violation if the policy
+// forbids sorted access on i.
+func (s *Source) SortedNextN(i int, buf []model.Entry) int {
+	if !s.policy.CanSorted(i) {
+		panic(Violation{Op: "sorted", List: i})
+	}
+	if len(buf) == 0 {
+		return 0
+	}
+	if s.pos[i] >= s.lists[i].Len() {
+		if s.trace != nil {
+			s.trace.Entries = append(s.trace.Entries, TraceEntry{Sorted: true, List: i})
+		}
+		return 0
+	}
+	var n int
+	if cbl := s.costedBatch[i]; cbl != nil {
+		if cap(s.costBuf) < len(buf) {
+			s.costBuf = make([]float64, len(buf))
+		}
+		costs := s.costBuf[:len(buf)]
+		n = cbl.AtCostN(s.pos[i], buf, costs)
+		for t := 0; t < n; t++ {
+			s.stats.ChargedSorted += costs[t]
+		}
+	} else if cl := s.costed[i]; cl != nil {
+		n = s.lists[i].Len() - s.pos[i]
+		if n > len(buf) {
+			n = len(buf)
+		}
+		for t := 0; t < n; t++ {
+			var cost float64
+			buf[t], cost = cl.AtCost(s.pos[i] + t)
+			s.stats.ChargedSorted += cost
+		}
+	} else if bl := s.batch[i]; bl != nil {
+		n = bl.AtN(s.pos[i], buf)
+		s.stats.ChargedSorted += float64(n) * s.costs[i].CS
+	} else {
+		n = s.lists[i].Len() - s.pos[i]
+		if n > len(buf) {
+			n = len(buf)
+		}
+		for t := 0; t < n; t++ {
+			buf[t] = s.lists[i].At(s.pos[i] + t)
+		}
+		s.stats.ChargedSorted += float64(n) * s.costs[i].CS
+	}
+	s.pos[i] += n
+	s.stats.Sorted += int64(n)
+	s.stats.PerList[i] += int64(n)
+	for t := 0; t < n; t++ {
+		s.seen.add(buf[t].Object)
+	}
+	if s.trace != nil {
+		for t := 0; t < n; t++ {
+			s.trace.Entries = append(s.trace.Entries, TraceEntry{
+				Sorted: true, List: i, Object: buf[t].Object, Grade: buf[t].Grade, OK: true,
+			})
+		}
+	}
+	return n
 }
 
 // Random performs one random access: obj's grade in list i. ok is false if
@@ -281,7 +361,7 @@ func (s *Source) Random(i int, obj model.ObjectID) (g model.Grade, ok bool) {
 	}
 	s.stats.Random++
 	s.stats.ChargedRandom += cost
-	if !s.seenSorted[obj] {
+	if !s.seen.has(obj) {
 		s.stats.WildGuesses++
 	}
 	if s.trace != nil {
@@ -339,11 +419,21 @@ func (s *Source) Stats() Stats {
 }
 
 // Reset rewinds all cursors and zeroes the accounting so the same Source
-// can serve another run.
+// can serve another run. Internal index capacity (the seen-set, per-list
+// slices) is retained, so a pooled Source resets without reallocating.
 func (s *Source) Reset() {
 	for i := range s.pos {
 		s.pos[i] = 0
 	}
-	s.stats = Stats{PerList: make([]int64, len(s.lists))}
-	s.seenSorted = make(map[model.ObjectID]bool)
+	perList := s.stats.PerList
+	clear(perList)
+	s.stats = Stats{PerList: perList}
+	s.seen.reset()
+}
+
+// ResetFor is Reset plus a policy swap: a pooled Source recycled for a new
+// query adopts that query's access policy without reallocating indexes.
+func (s *Source) ResetFor(policy Policy) {
+	s.policy = policy
+	s.Reset()
 }

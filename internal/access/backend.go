@@ -43,6 +43,54 @@ type CostedList interface {
 	GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64)
 }
 
+// BatchList is a ListSource that can serve a run of consecutive sorted
+// positions in one call — the batch half of the columnar access contract.
+// Batching changes only how entries move (one call, contiguous column
+// copies), never what is read or charged: AtN(pos, dst) must return exactly
+// the entries At(pos), At(pos+1), … would, and accounting layers above
+// still charge each entry individually. model.List implements it directly
+// from its columns; middleware layers (Remote, Cache, SharedScan) forward
+// or fill per batch while keeping their per-entry semantics intact.
+type BatchList interface {
+	ListSource
+	// AtN fills dst with the entries at consecutive sorted positions pos,
+	// pos+1, … and returns how many were written:
+	// min(len(dst), Len()-pos), 0 at or past the end.
+	AtN(pos int, dst []model.Entry) int
+}
+
+// CostedBatchList is a CostedList that serves batched sorted access with
+// per-entry charged costs — what a cache exposes so a batch read can mix
+// free hits and billed misses in one call.
+type CostedBatchList interface {
+	CostedList
+	// AtCostN is AtN plus each entry's individual charged cost, written to
+	// costs (len(costs) ≥ len(dst) is the caller's obligation). The n
+	// returned entries and costs must equal what n AtCost calls at pos,
+	// pos+1, … would have produced against the same starting state.
+	AtCostN(pos int, dst []model.Entry, costs []float64) int
+}
+
+// fetchInto reads up to len(dst) consecutive entries from l starting at
+// pos, using the batch path when l supports it and a per-entry loop
+// otherwise. It returns how many entries were written.
+func fetchInto(l ListSource, pos int, dst []model.Entry) int {
+	if bl, ok := l.(BatchList); ok {
+		return bl.AtN(pos, dst)
+	}
+	n := l.Len() - pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = l.At(pos + i)
+	}
+	return n
+}
+
 // Latency describes a simulated access-latency distribution for a Remote
 // backend. All fields are optional; the zero value injects no latency.
 type Latency struct {
@@ -99,6 +147,24 @@ func (r *Remote) At(pos int) model.Entry {
 func (r *Remote) GradeOf(obj model.ObjectID) (model.Grade, bool) {
 	r.delay(r.lat.Random)
 	return r.src.GradeOf(obj)
+}
+
+// AtN implements BatchList: one round trip's worth of entries, but each
+// entry still pays its own simulated latency (the same jitter/straggler
+// sequence n single At calls would consume), so batching changes call
+// overhead, not the modeled access cost.
+func (r *Remote) AtN(pos int, dst []model.Entry) int {
+	n := r.src.Len() - pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		r.delay(r.lat.Sorted)
+	}
+	return fetchInto(r.src, pos, dst[:n])
 }
 
 // AccessCosts implements Backend.
@@ -182,6 +248,17 @@ func (m *Misdeclared) AtCost(pos int) (model.Entry, float64) {
 func (m *Misdeclared) GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64) {
 	g, ok := m.backend.GradeOf(obj)
 	return g, ok, m.backend.AccessCosts().CR
+}
+
+// AtCostN implements CostedBatchList: every entry in the batch bills the
+// wrapped backend's true sorted cost, whatever was declared.
+func (m *Misdeclared) AtCostN(pos int, dst []model.Entry, costs []float64) int {
+	n := fetchInto(m.backend, pos, dst)
+	cs := m.backend.AccessCosts().CS
+	for i := 0; i < n; i++ {
+		costs[i] = cs
+	}
+	return n
 }
 
 // splitmix64 is the SplitMix64 mixer — a tiny, allocation-free way to turn

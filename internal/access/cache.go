@@ -10,8 +10,9 @@ import (
 // CacheConfig sizes a Cache. Zero fields take the documented defaults.
 type CacheConfig struct {
 	// PageSize is the number of consecutive sorted positions one cached
-	// page covers (default 64). Pages fill entry-by-entry on demand, so
-	// caching never performs a physical access a consumer did not ask for.
+	// page covers (default 64). Pages fill on demand and only within the
+	// span a read asked for, so caching never performs a physical access a
+	// consumer did not ask for.
 	PageSize int
 	// Pages bounds the LRU of (list, prefix-page) pages (default 256).
 	Pages int
@@ -64,10 +65,11 @@ func (s CacheStats) HitRate() float64 {
 // random probes of the same object are answered from the memo.
 //
 // Grades are immutable, so the cache needs no invalidation: a cached entry
-// is exactly what the backend would serve. Pages fill entry-by-entry on
-// first demand (a miss fetches one entry, never a whole page), which pins
-// the correctness property the tests assert: a cached run's physical
-// accesses never exceed an uncached run's.
+// is exactly what the backend would serve. Pages fill on first demand and
+// only within the span that was read — a single-entry miss fetches one
+// entry, a batch read fetches its uncached runs, never positions beyond
+// the request — which pins the correctness property the tests assert: a
+// cached run's physical accesses never exceed an uncached run's.
 //
 // A single Cache and all lists wrapped by it are safe for concurrent use;
 // one mutex guards the whole structure. The mutex is held across a
@@ -195,6 +197,72 @@ func (l *cachedList) AtCost(pos int) (model.Entry, float64) {
 	pg.have[off] = true
 	c.stats.Misses++
 	return e, l.costs.CS
+}
+
+// AtCostN implements CostedBatchList: one lock acquisition per batch
+// instead of per entry. Within each page the request touches, hits are
+// copied out free and contiguous miss runs are filled with a single
+// backend batch read directly into the page's slots — whole stretches of
+// the page populate per miss, not entry-by-entry. The fill never extends
+// past the requested range, so the cached run's physical accesses still
+// never exceed an uncached run's, and the per-entry hit/miss charging,
+// stats and LRU state are exactly what len(dst) AtCost calls would leave.
+func (l *cachedList) AtCostN(pos int, dst []model.Entry, costs []float64) int {
+	n := l.src.Len() - pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; {
+		key := pageKey{list: l.list, page: (pos + i) / c.cfg.PageSize}
+		off := (pos + i) % c.cfg.PageSize
+		span := c.cfg.PageSize - off // request entries landing in this page
+		if span > n-i {
+			span = n - i
+		}
+		el, ok := c.pages[key]
+		if ok {
+			c.lru.MoveToFront(el)
+		} else {
+			el = c.lru.PushFront(&cachePage{
+				key:     key,
+				entries: make([]model.Entry, c.cfg.PageSize),
+				have:    make([]bool, c.cfg.PageSize),
+			})
+			c.pages[key] = el
+			c.evictPagesLocked()
+		}
+		pg := el.Value.(*cachePage)
+		for j := 0; j < span; {
+			if pg.have[off+j] {
+				dst[i+j] = pg.entries[off+j]
+				costs[i+j] = 0
+				c.stats.Hits++
+				c.stats.ChargedSaved += l.costs.CS
+				j++
+				continue
+			}
+			run := 1
+			for j+run < span && !pg.have[off+j+run] {
+				run++
+			}
+			fetchInto(l.src, pos+i+j, pg.entries[off+j:off+j+run])
+			for t := 0; t < run; t++ {
+				pg.have[off+j+t] = true
+				dst[i+j+t] = pg.entries[off+j+t]
+				costs[i+j+t] = l.costs.CS
+				c.stats.Misses++
+			}
+			j += run
+		}
+		i += span
+	}
+	return n
 }
 
 func (l *cachedList) GradeOf(obj model.ObjectID) (model.Grade, bool) {

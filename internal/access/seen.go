@@ -1,0 +1,59 @@
+package access
+
+import "repro/internal/model"
+
+// seenBitsetCap bounds the dense bitset backing a seenSet: ids in
+// [0, seenBitsetCap) are tracked in the bitset (at most 512 KiB), anything
+// outside spills to a map. ObjectIDs are documented as small non-negative
+// integers, so in practice every id lands in the bitset and membership is a
+// single word read — the structure sits on the sorted-access hot path,
+// where a hash insert per entry was a measurable fraction of query time.
+const seenBitsetCap = 1 << 22
+
+// seenSet tracks the objects returned by sorted access (wild-guess
+// detection). The zero value is ready to use; reset clears it while
+// retaining the allocated bitset and map capacity, which is what makes
+// pooled Sources cheap to recycle.
+type seenSet struct {
+	bits []uint64
+	wide map[model.ObjectID]bool // ids outside [0, seenBitsetCap)
+}
+
+func (s *seenSet) add(obj model.ObjectID) {
+	if obj >= 0 && int64(obj) < seenBitsetCap {
+		w := uint(obj)
+		idx := int(w >> 6)
+		if idx >= len(s.bits) {
+			grow := 2 * len(s.bits)
+			if grow <= idx {
+				grow = idx + 1
+			}
+			if grow > seenBitsetCap>>6 {
+				grow = seenBitsetCap >> 6
+			}
+			nb := make([]uint64, grow)
+			copy(nb, s.bits)
+			s.bits = nb
+		}
+		s.bits[idx] |= 1 << (w & 63)
+		return
+	}
+	if s.wide == nil {
+		s.wide = make(map[model.ObjectID]bool)
+	}
+	s.wide[obj] = true
+}
+
+func (s *seenSet) has(obj model.ObjectID) bool {
+	if obj >= 0 && int64(obj) < seenBitsetCap {
+		w := uint(obj)
+		idx := int(w >> 6)
+		return idx < len(s.bits) && s.bits[idx]&(1<<(w&63)) != 0
+	}
+	return s.wide[obj]
+}
+
+func (s *seenSet) reset() {
+	clear(s.bits)
+	clear(s.wide)
+}

@@ -149,6 +149,15 @@ func (l *sharedList) detach(id int) {
 // window as needed and sliding it past the slowest live consumer.
 func (l *sharedList) at(id, pos int) model.Entry {
 	l.mu.Lock()
+	e := l.atLocked(id, pos)
+	l.mu.Unlock()
+	return e
+}
+
+// atLocked is one consumer read with l.mu held; batch reads loop it under a
+// single lock acquisition, so the per-entry window advance/trim — and with
+// it the fetched/peak accounting — is identical batch or not.
+func (l *sharedList) atLocked(id, pos int) model.Entry {
 	if pos < l.base {
 		// The window already slid past pos (this consumer attached after
 		// trimming): serve straight from the source, one extra physical
@@ -156,7 +165,6 @@ func (l *sharedList) at(id, pos int) model.Entry {
 		e := l.src.At(pos)
 		l.fetched++
 		l.advanceLocked(id, pos)
-		l.mu.Unlock()
 		return e
 	}
 	for pos >= l.base+len(l.buf) {
@@ -169,8 +177,25 @@ func (l *sharedList) at(id, pos int) model.Entry {
 	e := l.buf[pos-l.base]
 	l.advanceLocked(id, pos)
 	l.trimLocked()
-	l.mu.Unlock()
 	return e
+}
+
+// atN serves consumer id's reads of positions pos, pos+1, … under one lock
+// acquisition, returning how many entries it wrote.
+func (l *sharedList) atN(id, pos int, dst []model.Entry) int {
+	n := l.src.Len() - pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	l.mu.Lock()
+	for i := 0; i < n; i++ {
+		dst[i] = l.atLocked(id, pos+i)
+	}
+	l.mu.Unlock()
+	return n
 }
 
 // advanceLocked records that consumer id has consumed position pos.
@@ -231,6 +256,12 @@ type consumerView struct {
 
 func (v *consumerView) Len() int               { return v.l.src.Len() }
 func (v *consumerView) At(pos int) model.Entry { return v.l.at(v.id, pos) }
+
+// AtN implements BatchList: the batch is served through the shared window
+// under one lock acquisition.
+func (v *consumerView) AtN(pos int, dst []model.Entry) int {
+	return v.l.atN(v.id, pos, dst)
+}
 func (v *consumerView) GradeOf(obj model.ObjectID) (model.Grade, bool) {
 	return v.l.gradeOf(obj)
 }

@@ -33,6 +33,9 @@ type NRACursor struct {
 	exhausted   bool
 	encountered []model.ObjectID // objects seen during the latest Step round
 	viewItems   []Scored         // reusable backing for View().TopK
+
+	stepBuf    []model.Entry // reusable batch buffer (m × budget entries)
+	stepCounts []int         // reusable per-list batch counts
 }
 
 // CursorView is the interval evidence a cursor has accumulated at its
@@ -105,6 +108,64 @@ func (c *NRACursor) Step() bool {
 	}
 	c.src.ReportBuffer(len(c.tb.parts))
 	return true
+}
+
+// StepN performs up to budget parallel sorted-access rounds in one call and
+// returns the number of rounds completed (0 once every list is exhausted).
+// Each list's next entries are prefetched with a single batched sorted
+// access, then applied to the bound table round by round in (round, list)
+// order — exactly the observation sequence budget Step calls would produce,
+// so every interval, threshold and Halted answer is identical; only the
+// per-round call and accounting overhead is amortized. A return below
+// budget means the lists ran out mid-call. Buffer occupancy is reported
+// once per call; encounteredObjects accumulates across all completed
+// rounds.
+func (c *NRACursor) StepN(budget int) int {
+	if c.exhausted || budget <= 0 {
+		return 0
+	}
+	if budget == 1 {
+		if c.Step() {
+			return 1
+		}
+		return 0
+	}
+	m := c.tb.m
+	if cap(c.stepBuf) < m*budget {
+		c.stepBuf = make([]model.Entry, m*budget)
+	}
+	if cap(c.stepCounts) < m {
+		c.stepCounts = make([]int, m)
+	}
+	counts := c.stepCounts[:m]
+	rounds := 0
+	for i := 0; i < m; i++ {
+		counts[i] = c.src.SortedNextN(i, c.stepBuf[i*budget:(i+1)*budget])
+		if counts[i] > rounds {
+			rounds = counts[i]
+		}
+	}
+	if rounds == 0 {
+		c.exhausted = true
+		return 0
+	}
+	c.encountered = c.encountered[:0]
+	for r := 0; r < rounds; r++ {
+		c.tb.depth++
+		for i := 0; i < m; i++ {
+			if r >= counts[i] {
+				continue
+			}
+			e := c.stepBuf[i*budget+r]
+			c.tb.observeSorted(i, e)
+			c.encountered = append(c.encountered, e.Object)
+		}
+	}
+	if rounds < budget {
+		c.exhausted = true
+	}
+	c.src.ReportBuffer(len(c.tb.parts))
+	return rounds
 }
 
 // Halted evaluates the Section 8.1 stopping rule at the current depth: at

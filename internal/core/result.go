@@ -131,6 +131,13 @@ func NewTopKBuffer(k int) *TopKBuffer {
 // object in several lists; callers must re-offer an object only with the
 // same grade).
 func (h *TopKBuffer) Offer(s Scored) {
+	// Fast path: a full buffer rejects anything strictly below the current
+	// kth grade without scanning. An already-present object can never take
+	// this branch — every held item's grade is ≥ the worst's — so the
+	// duplicate scan below still sees every re-encounter.
+	if len(h.items) == h.k && h.k > 0 && s.Grade < h.items[h.k-1].Grade {
+		return
+	}
 	for i := range h.items {
 		if h.items[i].Object == s.Object {
 			// Same object re-encountered: grade is identical by
@@ -165,4 +172,11 @@ func (h *TopKBuffer) Snapshot() []Scored {
 	out := make([]Scored, len(h.items))
 	copy(out, h.items)
 	return out
+}
+
+// AppendSnapshot appends the current items, best first, to dst and returns
+// the extended slice — Snapshot without the allocation, for hot paths that
+// reuse a scratch buffer (pass dst[:0] to overwrite it).
+func (h *TopKBuffer) AppendSnapshot(dst []Scored) []Scored {
+	return append(dst, h.items...)
 }

@@ -59,6 +59,18 @@ type TA struct {
 	// ascending) — which is what the sharded engine needs for
 	// shard-count-independent results. Incompatible with Theta > 1.
 	StrictStop bool
+	// Batch, when > 1, prefetches up to Batch sorted rounds per list in one
+	// batched access and processes the entries in the exact lockstep
+	// (round, list) order, with the threshold and stopping rule still
+	// evaluated after every entry — the run stops on the same access a
+	// single-step run would, and the answer is identical. What changes is
+	// overhead, not semantics: one Source call, one OnProgress invocation
+	// and one buffer report per batch instead of per access, and up to
+	// Batch-1 prefetched-but-unprocessed accesses charged to Stats when the
+	// run stops mid-batch. Requires the default lockstep schedule (Sched
+	// must be nil); sources whose policy restricts sorted access fall back
+	// to the single-step loop.
+	Batch int
 }
 
 // Name implements Algorithm.
@@ -98,6 +110,21 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 	if m > 1 && !src.CanRandom(0) {
 		return nil, fmt.Errorf("%w: TA needs random access; use NRA when random access is impossible", ErrBadQuery)
+	}
+	if a.Batch > 1 {
+		if a.Sched != nil {
+			return nil, fmt.Errorf("%w: Batch requires the default lockstep schedule", ErrBadQuery)
+		}
+		allSorted := true
+		for i := 0; i < m; i++ {
+			if !src.CanSorted(i) {
+				allSorted = false
+				break
+			}
+		}
+		if allSorted {
+			return a.runBatched(src, t, k, theta)
+		}
 	}
 	sched := a.Sched
 	if sched == nil {
@@ -226,6 +253,148 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 					res.Theta = theta
 				}
 				return res, nil
+			}
+		}
+	}
+}
+
+// runBatched is TA's lockstep loop over batched sorted access. Each outer
+// iteration prefetches up to Batch rounds from every list with one
+// SortedNextN call per list, then processes the entries in (round, list)
+// order with the threshold and stopping rule evaluated after every entry —
+// the same per-access decision sequence as the single-step loop, so the run
+// stops on the same access and returns the same answer. OnProgress and
+// ReportBuffer fire once per batch; a stop mid-batch discards the remaining
+// prefetched entries, which is sound (each sits at or below its list's
+// current bottom, so its overall grade is at most τ, which the stop rule
+// just bounded by the kth grade) and visible only as up to Batch-1 extra
+// charged sorted accesses per list in Stats.
+func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*Result, error) {
+	m := src.M()
+	heap := NewTopKBuffer(k)
+	var memo map[model.ObjectID]model.Grade
+	if a.Memoize {
+		memo = make(map[model.ObjectID]model.Grade)
+	}
+	grades := make([]model.Grade, m)
+	bottoms := make([]model.Grade, m)
+	for i := range bottoms {
+		bottoms[i] = 1
+	}
+	depth := make([]int, m)
+	exh := make([]bool, m)
+	bufs := make([]model.Entry, m*a.Batch)
+	counts := make([]int, m)
+	var progressScratch []Scored
+
+	finish := func(exact bool, tau model.Grade) *Result {
+		items := heap.Snapshot()
+		for i := range items {
+			items[i].Lower = items[i].Grade
+			items[i].Upper = items[i].Grade
+		}
+		guarantee := 1.0
+		if !exact {
+			if len(items) == k && items[k-1].Grade > 0 {
+				guarantee = math.Max(1, float64(tau)/float64(items[k-1].Grade))
+			} else if len(items) < k || items[k-1].Grade <= 0 {
+				guarantee = math.Inf(1)
+			}
+		}
+		return &Result{
+			Items:       items,
+			GradesExact: true,
+			Theta:       guarantee,
+			Rounds:      maxInt(depth),
+			Stats:       src.Stats(),
+		}
+	}
+
+	for {
+		rounds := 0
+		for i := 0; i < m; i++ {
+			if exh[i] {
+				counts[i] = 0
+				continue
+			}
+			counts[i] = src.SortedNextN(i, bufs[i*a.Batch:(i+1)*a.Batch])
+			if src.Exhausted(i) || counts[i] == 0 {
+				exh[i] = true
+			}
+			if counts[i] > rounds {
+				rounds = counts[i]
+			}
+		}
+		if rounds == 0 {
+			// Every list is exhausted: the grade of every object is known,
+			// so the current top-k is exact.
+			return finish(true, t.Apply(bottoms)), nil
+		}
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < m; i++ {
+				if r >= counts[i] {
+					continue
+				}
+				e := bufs[i*a.Batch+r]
+				bottoms[i] = e.Grade
+				depth[i]++
+				var overall model.Grade
+				if g, hit := lookupMemo(memo, e.Object); hit {
+					overall = g
+				} else {
+					grades[i] = e.Grade
+					for j := 0; j < m; j++ {
+						if j == i {
+							continue
+						}
+						g, ok := src.Random(j, e.Object)
+						if !ok {
+							return nil, fmt.Errorf("core: object %d missing from list %d", e.Object, j)
+						}
+						grades[j] = g
+					}
+					overall = t.Apply(grades)
+					if memo != nil {
+						memo[e.Object] = overall
+					}
+				}
+				heap.Offer(Scored{Object: e.Object, Grade: overall})
+				if heap.Full() {
+					tau := t.Apply(bottoms)
+					stop := float64(heap.Kth())*theta >= float64(tau)
+					if a.StrictStop {
+						stop = heap.Kth() > tau
+					}
+					if stop {
+						res := finish(true, tau)
+						if theta > 1 {
+							res.Theta = theta
+						}
+						return res, nil
+					}
+				}
+			}
+		}
+		retained := heap.Len()
+		if memo != nil {
+			retained = len(memo)
+		}
+		src.ReportBuffer(retained)
+		if a.OnProgress != nil {
+			tau := t.Apply(bottoms)
+			progressScratch = heap.AppendSnapshot(progressScratch[:0])
+			p := Progress{
+				TopK:      progressScratch,
+				Threshold: tau,
+				Guarantee: math.Inf(1),
+				Depth:     maxInt(depth),
+			}
+			p.Sorted, p.Random = src.Counts()
+			if heap.Full() && heap.Kth() > 0 {
+				p.Guarantee = math.Max(1, float64(tau)/float64(heap.Kth()))
+			}
+			if !a.OnProgress(p) {
+				return finish(false, tau), nil
 			}
 		}
 	}

@@ -92,11 +92,13 @@ func (b *Builder) Build() (*Database, error) {
 	}
 	lists := make([]*List, b.m)
 	for i := 0; i < b.m; i++ {
-		entries := make([]Entry, 0, len(b.rows))
+		objs := make([]ObjectID, 0, len(b.rows))
+		grades := make([]Grade, 0, len(b.rows))
 		for _, obj := range b.order {
-			entries = append(entries, Entry{Object: obj, Grade: b.rows[obj][i]})
+			objs = append(objs, obj)
+			grades = append(grades, b.rows[obj][i])
 		}
-		l, err := NewList(entries)
+		l, err := newListFromColumns(objs, grades)
 		if err != nil {
 			return nil, err
 		}
@@ -143,14 +145,16 @@ func FromRows(m int, ids []ObjectID, rows [][]Grade) (*Database, error) {
 	}
 	lists := make([]*List, m)
 	for j := 0; j < m; j++ {
-		entries := make([]Entry, len(ids))
+		objs := make([]ObjectID, len(ids))
+		grades := make([]Grade, len(ids))
 		for i, id := range ids {
 			if len(rows[i]) != m {
 				return nil, fmt.Errorf("model: row %d has %d grades, want %d", i, len(rows[i]), m)
 			}
-			entries[i] = Entry{Object: id, Grade: rows[i][j]}
+			objs[i] = id
+			grades[i] = rows[i][j]
 		}
-		l, err := NewList(entries)
+		l, err := newListFromColumns(objs, grades)
 		if err != nil {
 			return nil, err
 		}

@@ -25,33 +25,91 @@ type Entry struct {
 	Grade  Grade
 }
 
-// List is a single attribute list sorted descending by grade, with a
-// rank index supporting O(1) random access by object.
+// List is a single attribute list sorted descending by grade. The layout is
+// columnar (struct-of-arrays): the sorted order lives in two flat parallel
+// columns — objs and grades — so positional scans touch densely packed
+// memory and batch reads (AtN) are straight column copies. The row-oriented
+// API (At, Entries) is a thin view assembled from the columns on demand. A
+// rank index supports O(1) random access by object; partitioned shard lists
+// additionally carry a shared random-access index over their parent's
+// columns (see partition.go), replacing the hash lookup with an array read.
 type List struct {
-	entries []Entry
-	rank    map[ObjectID]int // object -> position in entries
+	objs   []ObjectID // column: object at each sorted position
+	grades []Grade    // column: grade at each sorted position
+	rank   map[ObjectID]int32
+
+	// ra, when non-nil, is the columnar random-access fast path Partition
+	// installs on shard lists; GradeOf prefers it over the rank map.
+	ra *randomIndex
+}
+
+// randomIndex answers a shard list's random accesses from a dense
+// grade-by-object column: byObj[obj-min] is the object's grade in the
+// parent list, and membership in the shard is the round-robin residue
+// check (obj - min) % p == s, valid because the parent's object ids are
+// dense. One byObj column is built per parent list and shared by all its
+// shard slices, so a random access is a bounds check, a residue check and
+// a single array read — one cache line where the rank map cost a hash
+// probe.
+type randomIndex struct {
+	byObj []Grade // (obj - min) -> the object's grade in the parent list
+	min   ObjectID
+	p, s  int // shard membership: (obj - min) % p == s
+}
+
+// listColumns builds the sorted columns and rank index from pre-sorted
+// parallel columns; callers guarantee descending grade order. It returns an
+// error on duplicate objects.
+func listColumns(objs []ObjectID, grades []Grade) (*List, error) {
+	rank := make(map[ObjectID]int32, len(objs))
+	for i, obj := range objs {
+		if _, dup := rank[obj]; dup {
+			return nil, fmt.Errorf("model: object %d appears twice in list", obj)
+		}
+		rank[obj] = int32(i)
+	}
+	return &List{objs: objs, grades: grades, rank: rank}, nil
+}
+
+// byGradeDesc sorts parallel columns descending by grade, ties by ascending
+// ObjectID, without materializing row structs.
+type byGradeDesc struct {
+	objs   []ObjectID
+	grades []Grade
+}
+
+func (s byGradeDesc) Len() int { return len(s.objs) }
+func (s byGradeDesc) Less(i, j int) bool {
+	if s.grades[i] != s.grades[j] {
+		return s.grades[i] > s.grades[j]
+	}
+	return s.objs[i] < s.objs[j]
+}
+func (s byGradeDesc) Swap(i, j int) {
+	s.objs[i], s.objs[j] = s.objs[j], s.objs[i]
+	s.grades[i], s.grades[j] = s.grades[j], s.grades[i]
+}
+
+// newListFromColumns sorts the given columns in place (descending by grade,
+// ties by ascending ObjectID) and assembles a List around them. It is the
+// bulk construction path: builders produce columns directly and never
+// materialize row entries.
+func newListFromColumns(objs []ObjectID, grades []Grade) (*List, error) {
+	sort.Sort(byGradeDesc{objs: objs, grades: grades})
+	return listColumns(objs, grades)
 }
 
 // NewList builds a List from entries, sorting them descending by grade.
 // Ties are ordered by ascending ObjectID so list layout is deterministic.
 // It returns an error if an object appears twice.
 func NewList(entries []Entry) (*List, error) {
-	es := make([]Entry, len(entries))
-	copy(es, entries)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Grade != es[j].Grade {
-			return es[i].Grade > es[j].Grade
-		}
-		return es[i].Object < es[j].Object
-	})
-	rank := make(map[ObjectID]int, len(es))
-	for i, e := range es {
-		if _, dup := rank[e.Object]; dup {
-			return nil, fmt.Errorf("model: object %d appears twice in list", e.Object)
-		}
-		rank[e.Object] = i
+	objs := make([]ObjectID, len(entries))
+	grades := make([]Grade, len(entries))
+	for i, e := range entries {
+		objs[i] = e.Object
+		grades[i] = e.Grade
 	}
-	return &List{entries: es, rank: rank}, nil
+	return newListFromColumns(objs, grades)
 }
 
 // NewListPresorted builds a List from entries that the caller asserts are
@@ -60,54 +118,80 @@ func NewList(entries []Entry) (*List, error) {
 // objects below all others of equal grade. It returns an error if a grade
 // inversion or duplicate object is found.
 func NewListPresorted(entries []Entry) (*List, error) {
-	es := make([]Entry, len(entries))
-	copy(es, entries)
-	rank := make(map[ObjectID]int, len(es))
-	for i, e := range es {
-		if i > 0 && es[i-1].Grade < e.Grade {
-			return nil, fmt.Errorf("model: presorted list has inversion at position %d (%v < %v)", i, es[i-1].Grade, e.Grade)
+	objs := make([]ObjectID, len(entries))
+	grades := make([]Grade, len(entries))
+	for i, e := range entries {
+		if i > 0 && grades[i-1] < e.Grade {
+			return nil, fmt.Errorf("model: presorted list has inversion at position %d (%v < %v)", i, grades[i-1], e.Grade)
 		}
-		if _, dup := rank[e.Object]; dup {
-			return nil, fmt.Errorf("model: object %d appears twice in list", e.Object)
-		}
-		rank[e.Object] = i
+		objs[i] = e.Object
+		grades[i] = e.Grade
 	}
-	return &List{entries: es, rank: rank}, nil
+	return listColumns(objs, grades)
 }
 
 // Len returns the number of entries in the list.
-func (l *List) Len() int { return len(l.entries) }
+func (l *List) Len() int { return len(l.objs) }
 
 // At returns the entry at sorted position pos (0 = highest grade).
-func (l *List) At(pos int) Entry { return l.entries[pos] }
+func (l *List) At(pos int) Entry { return Entry{Object: l.objs[pos], Grade: l.grades[pos]} }
+
+// AtN fills dst with the entries at consecutive sorted positions pos,
+// pos+1, … and returns how many it wrote: min(len(dst), Len()-pos). It is
+// the columnar batch read behind access.Source.SortedNextN — one bounds
+// check and two column walks instead of a per-entry interface call.
+func (l *List) AtN(pos int, dst []Entry) int {
+	n := len(l.objs) - pos
+	if n <= 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	objs := l.objs[pos : pos+n]
+	grades := l.grades[pos : pos+n]
+	for i := range objs {
+		dst[i] = Entry{Object: objs[i], Grade: grades[i]}
+	}
+	return n
+}
 
 // GradeOf returns the grade of obj in this list, and whether it is present.
 func (l *List) GradeOf(obj ObjectID) (Grade, bool) {
+	if ra := l.ra; ra != nil {
+		i := int(obj - ra.min)
+		if i < 0 || i >= len(ra.byObj) || i%ra.p != ra.s {
+			return 0, false
+		}
+		return ra.byObj[i], true
+	}
 	i, ok := l.rank[obj]
 	if !ok {
 		return 0, false
 	}
-	return l.entries[i].Grade, true
+	return l.grades[i], true
 }
 
 // RankOf returns the 0-based sorted position of obj, and whether present.
 func (l *List) RankOf(obj ObjectID) (int, bool) {
 	i, ok := l.rank[obj]
-	return i, ok
+	return int(i), ok
 }
 
 // Entries returns a copy of the list's entries in sorted order.
 func (l *List) Entries() []Entry {
-	out := make([]Entry, len(l.entries))
-	copy(out, l.entries)
+	out := make([]Entry, len(l.objs))
+	for i := range out {
+		out[i] = Entry{Object: l.objs[i], Grade: l.grades[i]}
+	}
 	return out
 }
 
 // Distinct reports whether all grades in the list are pairwise distinct
 // (the per-list half of the paper's distinctness property).
 func (l *List) Distinct() bool {
-	for i := 1; i < len(l.entries); i++ {
-		if l.entries[i].Grade == l.entries[i-1].Grade {
+	for i := 1; i < len(l.grades); i++ {
+		if l.grades[i] == l.grades[i-1] {
 			return false
 		}
 	}
@@ -190,10 +274,10 @@ func (d *Database) Distinct() bool {
 // ValidateGrades returns an error if any grade lies outside [0,1] or is NaN.
 func (d *Database) ValidateGrades() error {
 	for i, l := range d.lists {
-		for _, e := range l.entries {
-			g := float64(e.Grade)
-			if math.IsNaN(g) || g < 0 || g > 1 {
-				return fmt.Errorf("model: list %d object %d has grade %v outside [0,1]", i, e.Object, e.Grade)
+		for pos, g := range l.grades {
+			f := float64(g)
+			if math.IsNaN(f) || f < 0 || f > 1 {
+				return fmt.Errorf("model: list %d object %d has grade %v outside [0,1]", i, l.objs[pos], g)
 			}
 		}
 	}

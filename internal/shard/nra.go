@@ -240,6 +240,37 @@ func (c *nraCoordinator) topK() (items []core.Scored, exact bool) {
 	return items, exact
 }
 
+// nraBatchRounds is the per-resume step budget of bound-crossing workers:
+// the cursor advances up to this many rounds per StepN call, so the publish
+// predicate (and the coordinator's pause directive) is evaluated once per
+// batch instead of once per round. Deferring a publish is always sound —
+// the worker merely overshoots by at most the batch — and the safety-valve
+// interval (plan.every, default 64) is a multiple of the batch, so the
+// valve still fires exactly on time.
+const nraBatchRounds = 16
+
+// stepBudget returns the rounds a worker hands StepN per iteration under
+// the given plan: per-round publishing steps singly (preserving the strict
+// P=1 sequential-depth equivalence), every-R steps a full publish interval
+// at once (publishes land on exactly the rounds they always did), and
+// bound-crossing steps nraBatchRounds between predicate checks. The cap
+// bounds the cursor's prefetch buffer when a user asks for a huge publish
+// interval; publishes then land on the first multiple of the budget past
+// each interval, which only defers them (never unsound).
+func stepBudget(plan publishPlan) int {
+	switch plan.policy {
+	case PublishEveryR:
+		if plan.every > 1024 {
+			return 1024
+		}
+		return plan.every
+	case PublishBoundCrossing:
+		return nraBatchRounds
+	default: // PublishPerRound
+		return 1
+	}
+}
+
 // shouldPublish evaluates the publish policy after one completed round.
 // since counts rounds since the last publish; gmk is the atomically
 // published global M_k. Skipping a publish is always sound: pausing
@@ -352,7 +383,38 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 			}
 			ran[s] = true
 		}
-		ForEach(len(batch), opts.Workers, func(i int) {
+		// A lone per-round-publishing shard under the wave scheduler is
+		// sequential NRA with publish overhead: there is no sibling shard
+		// whose evidence could change its pause depth, so the worker can
+		// evaluate the halting rule locally — the exact step-then-check loop
+		// of core.NRA.Run — and publish only its final view. The
+		// coordinator's pause condition (B-ceiling ≤ M_k) is implied by the
+		// halting rule at P = 1, so the scheduling loop still terminates on
+		// the published view alone; depth and Stats match sequential NRA
+		// access for access, now without a View build and table merge per
+		// round.
+		soloSequential := p == 1 && plan.policy == PublishPerRound &&
+			sched == ScheduleWave && probe == 0
+		budget := stepBudget(plan)
+		if serialized {
+			// The serialized schedulers spend charged cost precisely —
+			// always the best ceiling-drop per unit cost, pausing the moment
+			// the evidence says so. Batch overshoot would erode exactly the
+			// margin they exist to win, so they keep stepping singly.
+			budget = 1
+		}
+		weight := func(i int) float64 {
+			// Estimated remaining work: rounds to full exhaustion at the
+			// shard's declared per-round cost — the upper bound on how far
+			// the coordinator may need to push the cursor.
+			s := batch[i]
+			rem := float64(e.shards[s].N() - cursors[s].Depth())
+			if rem < 1 {
+				rem = 1
+			}
+			return rem * stepCost[s]
+		}
+		ForEachWeighted(len(batch), opts.Workers, weight, func(i int) {
 			s := batch[i]
 			start := time.Now()
 			depth0 := cursors[s].Depth()
@@ -361,12 +423,32 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 				elapsed[s] += d
 				if est != nil {
 					// Adaptive batches are singletons (pickCostAware), so
-					// the estimator is never touched concurrently; ForEach
+					// the estimator is never touched concurrently; the pool
 					// joins before the scheduler reads the estimates.
 					est.Observe(s, cursors[s].Depth()-depth0, d)
 				}
 			}()
 			cur := cursors[s]
+			if soloSequential {
+				for {
+					if coord.stopped.Load() {
+						return
+					}
+					if ctx.Err() != nil {
+						coord.stopped.Store(true)
+						return
+					}
+					if !cur.Step() {
+						coord.publish(s, cur.View())
+						coord.markExhausted(s)
+						return
+					}
+					if cur.Halted() {
+						coord.publish(s, cur.View())
+						return
+					}
+				}
+			}
 			since, rounds := 0, 0
 			for {
 				if coord.stopped.Load() {
@@ -376,13 +458,18 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 					coord.stopped.Store(true)
 					return
 				}
-				if !cur.Step() {
+				b := budget
+				if probe > 0 && b > probe-rounds {
+					b = probe - rounds
+				}
+				got := cur.StepN(b)
+				if got == 0 {
 					coord.publish(s, cur.View())
 					coord.markExhausted(s)
 					return
 				}
-				since++
-				rounds++
+				since += got
+				rounds += got
 				if probe > 0 && rounds >= probe {
 					// Probe budget spent: publish (the scheduler decides on
 					// coordinator state, never on a stale view) and yield.
@@ -424,6 +511,7 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		if per != nil {
 			per[s] = ShardStat{Stats: st, Elapsed: elapsed[s], Resumes: resumes[s]}
 		}
+		e.recycle(s, srcs[s])
 	}
 	stats.MaxBuffered += coord.peak
 	if opts.OnShardStats != nil {

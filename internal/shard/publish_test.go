@@ -38,7 +38,7 @@ func TestPublishPoliciesMatchSequentialNRA(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := core.TrueGradeMultiset(db, tf, seq.Items)
-			for _, p := range []int{1, 2, 4, 7} {
+			for _, p := range []int{1, 2, 4, 7, 8} {
 				eng, err := shard.New(db, p)
 				if err != nil {
 					t.Fatal(err)

@@ -217,9 +217,16 @@ type Engine struct {
 	shards []*model.Database
 	lists  [][]access.ListSource // per-shard access stacks; nil = direct DB lists
 	caches []*access.Cache       // per-shard caches (nil where none)
+	pools  []sync.Pool           // per-shard recycled accounting Sources
 	m      int
 	n      int // total objects across shards
 }
+
+// taBatchRounds is the sorted-round prefetch budget TA-mode shard workers
+// run with (core.TA.Batch): enough rounds to amortize the per-access Source
+// and progress-hook overhead, small enough that the up-to-Batch-1 discarded
+// prefetch on stop stays negligible next to a shard's scan depth.
+const taBatchRounds = 32
 
 // New partitions db into p object-disjoint shards (see
 // model.Database.Partition; p is clamped to the number of objects).
@@ -315,16 +322,31 @@ func FromBackends(shards []ShardBackend) (*Engine, error) {
 		e.caches[s] = sb.Cache
 	}
 	e.m, e.n = m, total
+	e.pools = make([]sync.Pool, len(shards))
 	return e, nil
 }
 
-// source opens a fresh accounting Source over shard s's access stack.
+// source opens an accounting Source over shard s's access stack, recycling
+// one from an earlier query on the shard when available: a recycled Source
+// rewinds its cursors and clears its accounting while keeping its seen-set
+// and slice capacity, so the per-query index allocations are paid once per
+// shard, not once per query.
 func (e *Engine) source(s int, policy access.Policy) *access.Source {
+	if v := e.pools[s].Get(); v != nil {
+		src := v.(*access.Source)
+		src.ResetFor(policy)
+		return src
+	}
 	if ls := e.lists[s]; ls != nil {
 		return access.FromLists(ls, policy)
 	}
 	return access.New(e.shards[s], policy)
 }
+
+// recycle returns a finished query's Source to shard s's pool. Callers must
+// have taken any Stats they need first — Source.Stats returns a copy, so a
+// Result built from it stays valid after the Source is reused.
+func (e *Engine) recycle(s int, src *access.Source) { e.pools[s].Put(src) }
 
 // CacheStats returns each shard's cache statistics, indexed by shard;
 // shards without a cache report zero stats. Caches persist across queries,
@@ -496,11 +518,13 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 			// every seen object), so Options.Memoize has nothing to add.
 			al = &core.CostAwareTA{Costs: opts.Costs, OnProgress: onProgress}
 		} else {
-			al = &core.TA{StrictStop: true, Memoize: opts.Memoize, OnProgress: onProgress}
+			al = &core.TA{StrictStop: true, Memoize: opts.Memoize, OnProgress: onProgress, Batch: taBatchRounds}
 		}
+		src := e.source(s, access.AllowAll)
 		start := time.Now()
-		res, err := al.Run(e.source(s, access.AllowAll), t, ks)
+		res, err := al.Run(src, t, ks)
 		elapsed[s] = time.Since(start)
+		e.recycle(s, src)
 		if err != nil {
 			errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
 			coord.abort()

@@ -42,6 +42,21 @@ if [ "$pattern" = "." ]; then
             exit 1
         fi
     done
+
+    # Columnar-engine floor: the sharded TA path must beat the sequential
+    # TA baseline at P8 by at least 2.0× even on a single-core runner —
+    # the structural win of batched sorted access, dense random-access
+    # columns and pooled sources. A ratio below the floor means a
+    # regression re-introduced per-access overhead.
+    awk '
+    $1 ~ /^BenchmarkShardedTA\/P8/ {
+        for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == "speedup-vs-seq") v = $i
+    }
+    END {
+        if (v == "") { print "bench.sh: BenchmarkShardedTA/P8 reported no speedup-vs-seq" > "/dev/stderr"; exit 1 }
+        if (v + 0 < 2.0) { printf "bench.sh: BenchmarkShardedTA/P8 speedup-vs-seq %s is below the 2.0 floor\n", v > "/dev/stderr"; exit 1 }
+    }
+    ' BENCH_topk.txt
 fi
 
 # Convert `BenchmarkName  N  123 ns/op  45 unit ...` lines to JSON.
@@ -112,6 +127,26 @@ awk '
 }
 END {
     printf "{\"summary\":\"cost-adaptive\""
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
+
+# Append the columnar-engine summary: sharded TA's sequential-relative
+# speedup and bytes allocated per query at every shard count, next to the
+# pre-columnar (row-oriented, per-query-allocating) seed's B/op so the
+# allocation reduction stays visible PR over PR.
+awk '
+$1 ~ /^BenchmarkShardedTA\/P/ {
+    p = $1; sub(/^BenchmarkShardedTA\//, "", p); sub(/-[0-9]+$/, "", p)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "speedup-vs-seq") { keys[++nk] = p ":speedup-vs-seq"; vals[nk] = $i }
+        if ($(i + 1) == "B/op") { keys[++nk] = p ":B/op"; vals[nk] = $i }
+    }
+}
+END {
+    printf "{\"summary\":\"columnar\""
+    printf ",\"seed:P1:B/op\":5377986,\"seed:P2:B/op\":6144215,\"seed:P4:B/op\":6352352,\"seed:P8:B/op\":6719051"
     for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
     print "}"
 }
