@@ -1,0 +1,188 @@
+// Command reprolint runs the repro-specific analyzers (internal/analysis)
+// over the module. Two modes:
+//
+//	reprolint ./...                 standalone: load, analyze, print findings
+//	go vet -vettool=$(which reprolint) ./...   unitchecker protocol
+//
+// Standalone mode exits 1 on findings; vettool mode follows the cmd/vet
+// convention and exits 2. Both print file:line:col: message (analyzer).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// selfHash digests the running executable so -V=full reports a version that
+// changes exactly when the tool does.
+func selfHash() []byte {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return h.Sum(nil)
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet probes the tool's version (for build caching) and analyzer
+	// flags before handing it work. The "devel" form requires a buildID
+	// field; hashing the executable gives cmd/go a stable content ID.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("reprolint version devel buildID=%x\n", selfHash())
+			return
+		}
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetTool(args[0]))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(patterns []string) int {
+	pkgs, err := driver.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	diags, err := driver.Analyze(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet configuration file the tool needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetTool implements the unitchecker protocol: analyze exactly one package
+// described by a .cfg file, write facts (none) to VetxOutput, report
+// diagnostics on stderr, exit 2 if there were any.
+func vetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet requires the facts file to exist even though we export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test variants are listed as "path [path.test]"; analyzers scope on the
+	// canonical import path and skip _test.go files entirely.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	var active []*analysis.Analyzer
+	for _, an := range analysis.All() {
+		if an.AppliesTo(importPath) {
+			active = append(active, an)
+		}
+	}
+	if len(active) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := driver.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Resolve imports through the vet config's vendor-aware ImportMap, then
+	// the compiled package files go build already produced.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+
+	pkg, info, err := driver.TypeCheck(importPath, fset, files, driver.NewImporter(fset, exports))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	for _, an := range active {
+		pass := analysis.NewPass(an, fset, files, pkg, info)
+		if err := an.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: %s on %s: %v\n", an.Name, importPath, err)
+			return 1
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoClean is the acceptance gate: the analyzers must report zero
+// findings on the repository itself.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := driver.Load([]string{"repro/..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := driver.Analyze(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("analyzing module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+}
+
+// TestVetTool builds the binary and exercises the go vet -vettool protocol
+// against a package the analyzers scope to.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "reprolint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/reprolint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/reprolint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "repro/internal/access", "repro/internal/core")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

@@ -124,13 +124,13 @@ func main() {
 		switch engineAlgo {
 		case "", string(repro.AlgoTA), string(repro.AlgoNRA):
 		default:
-			fatal(fmt.Errorf("sharding supports only the TA and NRA algorithms, got %q", *algo))
+			fatal(fmt.Errorf("%w: sharding supports only the TA and NRA algorithms, got %q", repro.ErrBadQuery, *algo))
 		}
 		if engineAlgo == string(repro.AlgoTA) && *noRandom {
-			fatal(fmt.Errorf("TA needs random access; drop -no-random or use -algo NRA"))
+			fatal(fmt.Errorf("%w: TA needs random access; drop -no-random or use -algo NRA", repro.ErrBadQuery))
 		}
 		if *theta != 0 {
-			fatal(fmt.Errorf("sharding computes exact answers; -theta is not supported"))
+			fatal(fmt.Errorf("%w: sharding computes exact answers; -theta is not supported", repro.ErrBadQuery))
 		}
 		eng, err = repro.NewShardedStack(db, p, backendSpec, cacheSpec)
 		if err != nil {
@@ -251,7 +251,7 @@ func aggByName(name string, m int) (repro.AggFunc, error) {
 	case "geomean":
 		return agg.GeometricMean(m), nil
 	}
-	return nil, fmt.Errorf("unknown aggregation %q", name)
+	return nil, fmt.Errorf("%w: unknown aggregation %q", repro.ErrBadQuery, name)
 }
 
 func fatal(err error) {

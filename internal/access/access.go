@@ -172,6 +172,11 @@ type Source struct {
 	seen    seenSet   // objects returned by sorted access (wild-guess detection)
 	costBuf []float64 // scratch for batched per-entry costs
 	trace   *Trace    // optional access recorder
+
+	// unitOnly marks a source whose every list bills exactly UnitCosts
+	// (no costed or costed-batch backends), so the invariants build can
+	// assert the middleware-cost identity Charged == Accesses at halt.
+	unitOnly bool
 }
 
 // New creates a Source over db with the given policy.
@@ -205,6 +210,7 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 		policy:      policy,
 		stats:       Stats{PerList: make([]int64, len(lists))},
 	}
+	s.unitOnly = true
 	for i, l := range lists {
 		s.costs[i] = BackendCosts(l)
 		if cl, ok := l.(CostedList); ok {
@@ -215,6 +221,9 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 		}
 		if cbl, ok := l.(CostedBatchList); ok {
 			s.costedBatch[i] = cbl
+		}
+		if s.costs[i] != UnitCosts || s.costed[i] != nil || s.costedBatch[i] != nil {
+			s.unitOnly = false
 		}
 	}
 	return s
@@ -375,6 +384,10 @@ func (s *Source) Random(i int, obj model.ObjectID) (g model.Grade, ok bool) {
 // ReportBuffer lets an algorithm report its current buffered-object count;
 // the peak is recorded (Theorem 4.2's bounded-buffer measurement).
 func (s *Source) ReportBuffer(n int) {
+	if invariantsEnabled {
+		assertInvariant(n >= 0 && n <= s.N(),
+			"buffer occupancy %d outside [0, N=%d]", n, s.N())
+	}
 	if n > s.stats.MaxBuffered {
 		s.stats.MaxBuffered = n
 	}
@@ -412,6 +425,14 @@ func (s *Source) SortedRoundCost() float64 {
 
 // Stats returns a copy of the accumulated accounting.
 func (s *Source) Stats() Stats {
+	if invariantsEnabled && s.unitOnly {
+		// Under unit costs with no cost-reporting backends, the charged
+		// middleware cost is definitionally the access count.
+		assertInvariant(s.stats.ChargedSorted == float64(s.stats.Sorted),
+			"unit-cost source charged %v for %d sorted accesses", s.stats.ChargedSorted, s.stats.Sorted)
+		assertInvariant(s.stats.ChargedRandom == float64(s.stats.Random),
+			"unit-cost source charged %v for %d random accesses", s.stats.ChargedRandom, s.stats.Random)
+	}
 	out := s.stats
 	out.PerList = make([]int64, len(s.stats.PerList))
 	copy(out.PerList, s.stats.PerList)

@@ -126,7 +126,7 @@ func TestReset(t *testing.T) {
 	src := New(testDB(t), AllowAll)
 	src.SortedNext(0)
 	src.Random(1, 1)
-	src.ReportBuffer(5)
+	src.ReportBuffer(3)
 	src.CountBoundRecompute(3)
 	src.Reset()
 	st := src.Stats()

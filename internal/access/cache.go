@@ -192,6 +192,7 @@ func (l *cachedList) AtCost(pos int) (model.Entry, float64) {
 		c.stats.ChargedSaved += l.costs.CS
 		return pg.entries[off], 0
 	}
+	//lint:lockheld single-flight: concurrent readers of a missing entry must not fetch it twice
 	e := l.src.At(pos)
 	pg.entries[off] = e
 	pg.have[off] = true
@@ -251,6 +252,7 @@ func (l *cachedList) AtCostN(pos int, dst []model.Entry, costs []float64) int {
 			for j+run < span && !pg.have[off+j+run] {
 				run++
 			}
+			//lint:lockheld single-flight: the miss run fills page slots other readers are waiting on
 			fetchInto(l.src, pos+i+j, pg.entries[off+j:off+j+run])
 			for t := 0; t < run; t++ {
 				pg.have[off+j+t] = true
@@ -284,6 +286,7 @@ func (l *cachedList) GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64
 		c.stats.ChargedSaved += l.costs.CR
 		return me.grade, me.ok, 0
 	}
+	//lint:lockheld single-flight: the memo must admit exactly one probe per missing object
 	g, ok := l.src.GradeOf(obj)
 	el := c.mlru.PushFront(&memoEntry{key: key, grade: g, ok: ok})
 	c.memo[key] = el

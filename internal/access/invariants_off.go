@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package access
+
+// invariantsEnabled gates the runtime assertion layer; see invariants_on.go.
+const invariantsEnabled = false
+
+func assertInvariant(cond bool, format string, args ...any) {}

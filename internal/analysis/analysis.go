@@ -1,0 +1,257 @@
+// Package analysis is a dependency-free miniature of the golang.org/x/tools
+// go/analysis framework: an Analyzer inspects one type-checked package
+// through a Pass and reports Diagnostics. The repo vendors no third-party
+// modules, so the five repro-specific analyzers (chargedaccess, errbadquery,
+// maprange, snapshotalias, lockblock) run on this stdlib-only core instead;
+// the shapes (Analyzer, Pass, Reportf) mirror x/tools so the analyzers port
+// verbatim if the dependency ever lands.
+//
+// Suppression: a finding is silenced by a reasoned annotation comment
+//
+//	//lint:<key> <reason>
+//
+// on the flagged line or the line directly above it, where <key> is the
+// analyzer's Key (e.g. //lint:orderfree for maprange). The reason is
+// mandatory — a bare annotation is itself reported — so every suppression
+// documents why the invariant does not apply. docs/STATIC-ANALYSIS.md lists
+// every analyzer, its invariant and its key.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("maprange").
+	Name string
+	// Key is the suppression-annotation key: //lint:<Key> <reason>.
+	Key string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Scope lists the import paths the analyzer applies to; empty means
+	// every package. Drivers consult it via AppliesTo; test harnesses run
+	// fixtures regardless.
+	Scope []string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer's scope covers importPath.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, p := range a.Scope {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is one reported finding, with a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	suppressed map[string]map[int]bool // filename -> lines covered by //lint:<key>
+}
+
+// NewPass assembles a Pass and indexes the package's suppression
+// annotations for the analyzer's key. Annotations without a reason are
+// reported immediately: a suppression that does not say why documents
+// nothing.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		suppressed: make(map[string]map[int]bool),
+	}
+	prefix := "//lint:" + a.Key
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // a different key sharing the prefix
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" {
+					p.diags = append(p.diags, Diagnostic{
+						Pos:      pos,
+						Message:  "suppression //lint:" + a.Key + " needs a reason",
+						Analyzer: a.Name,
+					})
+					continue
+				}
+				lines := p.suppressed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.suppressed[pos.Filename] = lines
+				}
+				// The annotation covers its own line (trailing comment)
+				// and the next one (comment on the line above).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos unless a //lint:<key> annotation covers
+// the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.suppressed[position.Filename]; ok && lines[position.Line] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic {
+	out := make([]Diagnostic, len(p.diags))
+	copy(out, p.diags)
+	return out
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions and
+// indirect calls through plain variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func (p *Pass) isPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.calleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// receiverVar returns the declared receiver variable of a method, or nil
+// for plain functions and anonymous receivers.
+func (p *Pass) receiverVar(fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj, _ := p.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return obj
+}
+
+// fieldPath reduces expr to the selector path it takes from the given
+// receiver variable, peeling index, slice, star and paren layers: with
+// receiver s, `s.stats.PerList[i]` yields ["stats", "PerList"]. It returns
+// nil when expr is not rooted at recv.
+func (p *Pass) fieldPath(expr ast.Expr, recv *types.Var) []string {
+	var path []string
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			path = append(path, e.Sel.Name)
+			expr = e.X
+		case *ast.Ident:
+			if recv != nil && p.TypesInfo.ObjectOf(e) == recv {
+				// path was collected outside-in; reverse it.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isSliceOrMap reports whether t's underlying type aliases mutable backing
+// storage when copied (slice or map).
+func isSliceOrMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// aliasedFields returns the names of struct fields of t (following one
+// level of naming) whose values alias backing storage when the struct is
+// copied. It returns nil when t is not a struct.
+func aliasedFields(t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isSliceOrMap(f.Type()) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}

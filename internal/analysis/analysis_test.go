@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+func TestChargedAccess(t *testing.T) { atest.Run(t, analysis.ChargedAccess, "chargedaccess") }
+func TestErrBadQuery(t *testing.T)   { atest.Run(t, analysis.ErrBadQuery, "errbadquery") }
+func TestLockBlock(t *testing.T)     { atest.Run(t, analysis.LockBlock, "lockblock") }
+func TestMapRange(t *testing.T)      { atest.Run(t, analysis.MapRange, "maprange") }
+func TestSnapshotAlias(t *testing.T) { atest.Run(t, analysis.SnapshotAlias, "snapshotalias") }
+
+func TestAllRegistered(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

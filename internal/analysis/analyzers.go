@@ -1,0 +1,14 @@
+package analysis
+
+// All returns the repo's analyzer suite in reporting order. cmd/reprolint
+// runs these over every package each analyzer's Scope covers; the fixtures
+// under testdata/src exercise each one in isolation.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ChargedAccess,
+		ErrBadQuery,
+		LockBlock,
+		MapRange,
+		SnapshotAlias,
+	}
+}

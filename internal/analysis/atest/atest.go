@@ -1,0 +1,156 @@
+// Package atest is an analysistest-style fixture harness for the analyzers
+// in internal/analysis. A fixture is a directory of Go files under
+// testdata/src/<name>/ whose lines carry `// want "regexp"` comments naming
+// the diagnostics the analyzer must report there; the harness type-checks
+// the fixture against real stdlib export data (fixtures may import only the
+// standard library), runs the analyzer, and fails the test on any missing
+// or unexpected finding.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// wantRe matches one expectation inside a `// want` comment: a double- or
+// back-quoted regexp.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var (
+	stdExportsOnce sync.Once
+	stdExports     map[string]string
+	stdExportsErr  error
+)
+
+// stdExportData lists export data for the whole standard library once per
+// test process (served from the build cache).
+func stdExportData(t *testing.T) map[string]string {
+	t.Helper()
+	stdExportsOnce.Do(func() {
+		stdExports, stdExportsErr = driver.ListExports([]string{"std"})
+	})
+	if stdExportsErr != nil {
+		t.Fatalf("listing stdlib export data: %v", stdExportsErr)
+	}
+	return stdExports
+}
+
+// Run type-checks testdata/src/<fixture> and checks an's diagnostics
+// against the fixture's `// want` expectations.
+func Run(t *testing.T, an *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", fixture, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+
+	fset := token.NewFileSet()
+	files, err := driver.ParseFiles(fset, dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", fixture, err)
+	}
+	pkg, info, err := driver.TypeCheck(fixture, fset, files, driver.NewImporter(fset, stdExportData(t)))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	pass := analysis.NewPass(an, fset, files, pkg, info)
+	if err := an.Run(pass); err != nil {
+		t.Fatalf("running %s on fixture %s: %v", an.Name, fixture, err)
+	}
+
+	for _, d := range pass.Diagnostics() {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// collectWants extracts the `// want` expectations from the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if m[2] != "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unhit expectation matching d and reports success.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// Describe renders a diagnostic list for debugging fixture failures.
+func Describe(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChargedAccess enforces the access-accounting contract inside
+// internal/access: a method that advances a sorted cursor must charge for
+// it, and a method that counts an access must bill its cost.
+//
+// Invariant (paper Section 2 / repro accounting): every physical access is
+// visible in Stats — under uniform unit costs, Charged() == Accesses().
+// PR 6 multiplied the batched read paths (SortedNextN, AtCostN, StepN); a
+// new path that advances `pos` without touching `stats`, or bumps
+// stats.Sorted without stats.ChargedSorted, silently breaks every
+// instance-optimality measurement. The analyzer applies to methods on
+// types that carry both a `pos` and a `stats` field (the accounting
+// Sources):
+//
+//   - a write to pos must be joined by a write to stats and a use of the
+//     seen-set (wild-guess detection reads it);
+//   - a write to stats.Sorted must be joined by one to stats.ChargedSorted,
+//     and stats.Random by stats.ChargedRandom.
+var ChargedAccess = &Analyzer{
+	Name: "chargedaccess",
+	Key:  "uncharged",
+	Doc: "methods on accounting sources (types with pos+stats fields) that " +
+		"advance a cursor must update stats and the seen set, and raw access " +
+		"counters must be billed (Sorted↔ChargedSorted, Random↔ChargedRandom)",
+	Scope: []string{"repro/internal/access"},
+	Run:   runChargedAccess,
+}
+
+func runChargedAccess(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := pass.receiverVar(fd)
+			if recv == nil || !hasAccountingFields(recv.Type()) {
+				continue
+			}
+			checkAccountingMethod(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+// hasAccountingFields reports whether t (possibly a pointer) is a struct
+// with both `pos` and `stats` fields — the shape of an accounting Source.
+func hasAccountingFields(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	havePos, haveStats := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "pos":
+			havePos = true
+		case "stats":
+			haveStats = true
+		}
+	}
+	return havePos && haveStats
+}
+
+func checkAccountingMethod(pass *Pass, fd *ast.FuncDecl, recv *types.Var) {
+	var (
+		posWrite     ast.Node // first write through recv.pos
+		statsWrite   bool
+		sortedWrite  ast.Node // first write to recv.stats.Sorted
+		chargedS     bool
+		randomWrite  ast.Node // first write to recv.stats.Random
+		chargedR     bool
+		seenAnywhere bool
+	)
+	recordLHS := func(lhs ast.Expr, at ast.Node) {
+		path := pass.fieldPath(lhs, recv)
+		if len(path) == 0 {
+			return
+		}
+		switch path[0] {
+		case "pos":
+			if posWrite == nil {
+				posWrite = at
+			}
+		case "stats":
+			statsWrite = true
+			if len(path) > 1 {
+				switch path[1] {
+				case "Sorted":
+					if sortedWrite == nil {
+						sortedWrite = at
+					}
+				case "ChargedSorted":
+					chargedS = true
+				case "Random":
+					if randomWrite == nil {
+						randomWrite = at
+					}
+				case "ChargedRandom":
+					chargedR = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				recordLHS(lhs, s)
+			}
+		case *ast.IncDecStmt:
+			recordLHS(s.X, s)
+		case *ast.SelectorExpr:
+			if path := pass.fieldPath(s, recv); len(path) > 0 && path[0] == "seen" {
+				seenAnywhere = true
+			}
+		}
+		return true
+	})
+
+	name := fd.Name.Name
+	if posWrite != nil && !statsWrite {
+		pass.Reportf(posWrite.Pos(),
+			"%s advances %s.pos without updating %s.stats: every cursor advance must be charged (//lint:uncharged <reason>)",
+			name, recv.Name(), recv.Name())
+	} else if posWrite != nil && !seenAnywhere {
+		pass.Reportf(posWrite.Pos(),
+			"%s advances %s.pos but does not record the entries in the seen set; wild-guess detection depends on it (//lint:uncharged <reason>)",
+			name, recv.Name())
+	}
+	if sortedWrite != nil && !chargedS {
+		pass.Reportf(sortedWrite.Pos(),
+			"%s counts a sorted access without charging stats.ChargedSorted; under unit costs Charged() must equal Accesses() (//lint:uncharged <reason>)",
+			name)
+	}
+	if randomWrite != nil && !chargedR {
+		pass.Reportf(randomWrite.Pos(),
+			"%s counts a random access without charging stats.ChargedRandom; under unit costs Charged() must equal Accesses() (//lint:uncharged <reason>)",
+			name)
+	}
+}

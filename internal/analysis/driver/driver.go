@@ -1,0 +1,234 @@
+// Package driver loads and type-checks packages for the analyzers in
+// internal/analysis without golang.org/x/tools. It shells out to
+// `go list -deps -export -json` for package metadata and compiled export
+// data (both served from the build cache, no network), parses the target
+// packages' sources, and type-checks them against the export data with the
+// stdlib gc importer. cmd/reprolint uses it standalone; the atest fixture
+// harness reuses the export lookup for stdlib imports.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` over patterns and decodes the
+// package stream.
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ListExports returns the ImportPath → export-data-file map for patterns
+// and every dependency. The atest harness uses it to type-check fixtures
+// against real stdlib export data.
+func ListExports(patterns []string) (map[string]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns a types importer that resolves import paths through
+// the given export-data map (as produced by go list -export).
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ParseFiles parses the named files (skipping *_test.go) with comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// TypeCheck type-checks one package's files with the given importer.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	var tErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tErrs = append(tErrs, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(tErrs) > 0 {
+		msgs := make([]string, len(tErrs))
+		for i, e := range tErrs {
+			msgs[i] = e.Error()
+		}
+		return pkg, info, fmt.Errorf("driver: type-checking %s:\n%s", path, strings.Join(msgs, "\n"))
+	}
+	if err != nil {
+		return pkg, info, err
+	}
+	return pkg, info, nil
+}
+
+// Load lists, parses and type-checks the non-stdlib target packages
+// matched by patterns.
+func Load(patterns []string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("driver: %s uses cgo, which this driver does not support", lp.ImportPath)
+		}
+		fset := token.NewFileSet()
+		files, err := ParseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, info, err := TypeCheck(lp.ImportPath, fset, files, NewImporter(fset, exports))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}
+
+// Analyze runs every in-scope analyzer over the packages and returns the
+// findings sorted by position.
+func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			if !an.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := analysis.NewPass(an, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", an.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

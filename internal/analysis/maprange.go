@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map in result-producing packages.
+//
+// Invariant: the engine's answers are canonical — grade descending, then
+// ObjectID ascending — no matter the shard count or iteration accidents.
+// Go's map iteration order is deliberately randomized, so a map range on a
+// result path is only sound when the consumer canonicalizes (TopKBuffer's
+// total order, an explicit sort) or the computation is a fold that is
+// order-insensitive (max, sum). Such loops carry //lint:orderfree with the
+// reason; everything else is a latent nondeterminism bug of the kind that
+// makes sharded and sequential runs disagree.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Key:  "orderfree",
+	Doc: "flag `for range` over maps in result-producing paths; " +
+		"iteration order is randomized, so the loop must feed a canonicalizing " +
+		"sort or carry //lint:orderfree <reason>",
+	Scope: []string{"repro/internal/core", "repro/internal/shard"},
+	Run:   runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Pos(),
+					"range over map %s: iteration order is nondeterministic; canonicalize the output or annotate //lint:orderfree <reason>",
+					types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}

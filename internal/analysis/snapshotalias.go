@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotAlias flags exported methods that return references to internal
+// mutable state.
+//
+// Invariant (the PR 5 bug class): a stats/progress snapshot is a value the
+// caller may hold across further engine activity, so an exported snapshot
+// method must copy — returning an internal slice or map (or a struct whose
+// slice/map fields still alias the receiver's) hands the caller storage the
+// engine keeps mutating. The analyzer taints locals assigned from receiver
+// fields and flags returns of (a) receiver-rooted slice/map expressions,
+// (b) tainted locals, and (c) receiver-copied structs whose aliasing fields
+// were not all reassigned to fresh storage before the return. Deliberate
+// zero-copy contracts (documented buffer reuse) carry //lint:sharedslice
+// with the reason.
+var SnapshotAlias = &Analyzer{
+	Name: "snapshotalias",
+	Key:  "sharedslice",
+	Doc: "exported methods must not return internal mutable slices/maps or " +
+		"struct copies whose slice/map fields still alias the receiver; copy, " +
+		"or annotate a documented reuse contract with //lint:sharedslice <reason>",
+	Scope: []string{"repro/internal/access", "repro/internal/core", "repro/internal/shard"},
+	Run:   runSnapshotAlias,
+}
+
+// aliasTaint tracks how a local variable came to alias receiver state.
+type aliasTaint struct {
+	direct bool            // the local IS receiver-backed slice/map storage
+	fields map[string]bool // struct copy: aliasing fields not yet re-pointed
+}
+
+func runSnapshotAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+				continue
+			}
+			recv := pass.receiverVar(fd)
+			if recv == nil {
+				continue
+			}
+			checkSnapshotMethod(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+func checkSnapshotMethod(pass *Pass, fd *ast.FuncDecl, recv *types.Var) {
+	taint := make(map[*types.Var]*aliasTaint)
+
+	localOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		return v
+	}
+
+	// recvAlias classifies an expression rooted at the receiver: direct
+	// slice/map storage, or a struct copy with aliasing fields.
+	recvAlias := func(e ast.Expr) *aliasTaint {
+		if pass.fieldPath(e, recv) == nil {
+			return nil
+		}
+		t := pass.TypeOf(e)
+		if isSliceOrMap(t) {
+			return &aliasTaint{direct: true}
+		}
+		if fields := aliasedFields(t); len(fields) > 0 {
+			at := &aliasTaint{fields: make(map[string]bool, len(fields))}
+			for _, f := range fields {
+				at.fields[f] = true
+			}
+			return at
+		}
+		return nil
+	}
+
+	// taintOf evaluates whether an expression aliases receiver state,
+	// through locals, slicing, indexing, address-of and append chains.
+	var taintOf func(e ast.Expr) *aliasTaint
+	taintOf = func(e ast.Expr) *aliasTaint {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.ObjectOf(x).(*types.Var); ok {
+				return taint[v]
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			if at := recvAlias(x); at != nil {
+				return at
+			}
+		case *ast.SliceExpr:
+			if at := taintOf(x.X); at != nil {
+				return at
+			}
+			return recvAlias(x.X)
+		case *ast.UnaryExpr:
+			return taintOf(x.X)
+		case *ast.StarExpr:
+			return taintOf(x.X)
+		case *ast.CallExpr:
+			// append aliases its first argument's storage; everything
+			// else (make, copies, constructors) returns fresh values.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					return taintOf(x.Args[0])
+				}
+			}
+		}
+		return nil
+	}
+
+	var report func(e ast.Expr)
+	report = func(e ast.Expr) {
+		if cl, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					report(kv.Value)
+				} else {
+					report(elt)
+				}
+			}
+			return
+		}
+		at := taintOf(e)
+		if at == nil {
+			return
+		}
+		if at.direct {
+			pass.Reportf(e.Pos(),
+				"%s returns a reference to internal mutable state (%s); snapshot methods must copy (//lint:sharedslice <reason> for documented reuse)",
+				fd.Name.Name, types.ExprString(e))
+			return
+		}
+		for f := range at.fields {
+			pass.Reportf(e.Pos(),
+				"%s returns a struct copy whose field %s still aliases the receiver's storage; reassign it to a fresh copy before returning (//lint:sharedslice <reason>)",
+				fd.Name.Name, f)
+			return // one finding per return expression is enough
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				rhs := s.Rhs[i]
+				if v := localOf(lhs); v != nil {
+					at := taintOf(rhs)
+					if at == nil {
+						at = recvAlias(rhs)
+					}
+					if at != nil {
+						// Copy the taint so field clearing is per-local.
+						cp := &aliasTaint{direct: at.direct}
+						if at.fields != nil {
+							cp.fields = make(map[string]bool, len(at.fields))
+							for k := range at.fields {
+								cp.fields[k] = true
+							}
+						}
+						taint[v] = cp
+					} else {
+						delete(taint, v) // reassigned to fresh storage
+					}
+					continue
+				}
+				// local.Field = <fresh> clears that field's aliasing.
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if v := localOf(sel.X); v != nil {
+						if at := taint[v]; at != nil && at.fields != nil {
+							if taintOf(rhs) == nil && recvAlias(rhs) == nil {
+								delete(at.fields, sel.Sel.Name)
+							} else {
+								at.fields[sel.Sel.Name] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				report(res)
+			}
+		}
+		return true
+	})
+}

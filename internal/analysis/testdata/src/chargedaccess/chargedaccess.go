@@ -1,0 +1,89 @@
+// Fixture for the chargedaccess analyzer: methods on accounting sources
+// (types with pos+stats fields) must keep charging, counting and the seen
+// set in lockstep with cursor movement.
+package chargedaccess
+
+type Stats struct {
+	Sorted        int64
+	Random        int64
+	PerList       []int64
+	ChargedSorted float64
+	ChargedRandom float64
+}
+
+type seenSet map[int64]bool
+
+func (s seenSet) add(obj int64)      { s[obj] = true }
+func (s seenSet) has(obj int64) bool { return s[obj] }
+
+// Source mirrors access.Source's accounting shape.
+type Source struct {
+	pos   []int
+	stats Stats
+	seen  seenSet
+}
+
+// BadAdvance moves a cursor without touching stats at all.
+func (s *Source) BadAdvance(i int) {
+	s.pos[i]++ // want `advances s.pos without updating s.stats`
+}
+
+// BadSeen counts and charges but loses the seen-set update.
+func (s *Source) BadSeen(i int) {
+	s.pos[i]++ // want `does not record the entries in the seen set`
+	s.stats.Sorted++
+	s.stats.PerList[i]++
+	s.stats.ChargedSorted++
+}
+
+// BadCharge counts a sorted access without billing it.
+func (s *Source) BadCharge(i int, obj int64) {
+	s.pos[i]++
+	s.stats.Sorted++ // want `without charging stats.ChargedSorted`
+	s.seen.add(obj)
+}
+
+// BadRandomCharge counts a random access without billing it.
+func (s *Source) BadRandomCharge() {
+	s.stats.Random++ // want `without charging stats.ChargedRandom`
+}
+
+// GoodNext is the full contract: advance, count, charge, remember.
+func (s *Source) GoodNext(i int, obj int64) {
+	s.pos[i]++
+	s.stats.Sorted++
+	s.stats.PerList[i]++
+	s.stats.ChargedSorted++
+	s.seen.add(obj)
+}
+
+// GoodRandom never moves a cursor; it counts and charges, consulting the
+// seen set for wild-guess detection.
+func (s *Source) GoodRandom(obj int64) {
+	s.stats.Random++
+	s.stats.ChargedRandom++
+	_ = s.seen.has(obj)
+}
+
+// GoodReset rewinds cursors; zeroing whole stats plus resetting seen is a
+// complete accounting update.
+func (s *Source) GoodReset() {
+	for i := range s.pos {
+		s.pos[i] = 0
+	}
+	s.stats = Stats{}
+	s.seen = seenSet{}
+}
+
+// GoodAnnotated documents a deliberate exception.
+func (s *Source) GoodAnnotated(i int) {
+	//lint:uncharged test-only cursor rewind; accounting is reset by the caller
+	s.pos[i] = 0
+}
+
+// plain is not an accounting source (no stats field): never checked.
+type plain struct {
+	pos []int
+}
+
+func (p *plain) Advance(i int) { p.pos[i]++ }

@@ -1,0 +1,42 @@
+// Fixture for the errbadquery analyzer: validation errors must wrap the
+// ErrBadQuery sentinel via %w.
+package errbadquery
+
+import (
+	"errors"
+	"fmt"
+)
+
+//lint:notbadquery the sentinel itself cannot wrap itself
+var ErrBadQuery = errors.New("invalid query")
+
+func validate(k int) error {
+	if k < 0 {
+		return fmt.Errorf("k must be non-negative, got %d", k) // want `without %w`
+	}
+	if k == 0 {
+		return errors.New("k must be positive") // want `errors.New cannot wrap`
+	}
+	if k > 100 {
+		return fmt.Errorf("%w: k too large: %d", ErrBadQuery, k) // wrapped: ok
+	}
+	return nil
+}
+
+// propagate wraps an inner error; %w is present, so it is not flagged even
+// though the sentinel is indirect.
+func propagate(err error) error {
+	return fmt.Errorf("query 3: %w", err)
+}
+
+// fatalArg shows the flag applies to constructions anywhere, not only
+// returns (cmd/topk passes errors to a fatal helper).
+func fatalArg(report func(error)) {
+	report(fmt.Errorf("unknown aggregation")) // want `without %w`
+}
+
+// ioErr is a genuine non-validation error, documented as such.
+func ioErr() error {
+	//lint:notbadquery a closed pipe is an environment failure, not a bad query
+	return errors.New("pipe closed")
+}

@@ -1,0 +1,97 @@
+// Fixture for the lockblock analyzer: no blocking operations while holding
+// a coordinator or cache mutex.
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+// ListSource mirrors the backend access surface.
+type ListSource interface {
+	At(pos int) int
+	GradeOf(obj int64) (float64, bool)
+}
+
+type Cache struct {
+	mu    sync.Mutex
+	src   ListSource
+	ch    chan int
+	stats int
+}
+
+// BadFetch holds the mutex across a backend read.
+func (c *Cache) BadFetch(pos int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.src.At(pos) // want `backend access c.src.At while holding`
+}
+
+// BadProbe holds the mutex across a random probe.
+func (c *Cache) BadProbe(obj int64) (float64, bool) {
+	c.mu.Lock()
+	g, ok := c.src.GradeOf(obj) // want `backend access c.src.GradeOf while holding`
+	c.mu.Unlock()
+	return g, ok
+}
+
+// BadSleep sleeps inside the critical section.
+func (c *Cache) BadSleep() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding`
+	c.mu.Unlock()
+}
+
+// BadSend blocks on a channel send inside the critical section.
+func (c *Cache) BadSend(v int) {
+	c.mu.Lock()
+	c.ch <- v // want `channel send while holding`
+	c.mu.Unlock()
+}
+
+// BadNested is flagged inside a branch of the critical section.
+func (c *Cache) BadNested(pos int, cond bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cond {
+		return c.src.At(pos) // want `backend access c.src.At while holding`
+	}
+	return 0
+}
+
+// GoodUnlockFirst releases before fetching.
+func (c *Cache) GoodUnlockFirst(pos int) int {
+	c.mu.Lock()
+	c.stats++
+	c.mu.Unlock()
+	return c.src.At(pos)
+}
+
+// GoodBranchUnlock releases inside the branch before the fetch.
+func (c *Cache) GoodBranchUnlock(pos int, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return c.src.At(pos)
+	}
+	c.stats++
+	c.mu.Unlock()
+	return 0
+}
+
+// GoodDeferredWork captures work in a closure that runs after the critical
+// section ends: the function literal's body is not part of the section.
+func (c *Cache) GoodDeferredWork(pos int) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats++
+	return func() int { return c.src.At(pos) }
+}
+
+// GoodAnnotated documents a deliberate hold-across-fetch.
+func (c *Cache) GoodAnnotated(pos int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:lockheld single-flight: concurrent misses must not fetch twice
+	return c.src.At(pos)
+}

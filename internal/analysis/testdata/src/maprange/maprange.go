@@ -1,0 +1,54 @@
+// Fixture for the maprange analyzer: map iteration in result paths must be
+// canonicalized or annotated.
+package maprange
+
+import "sort"
+
+// bad collects map values in iteration order: nondeterministic output.
+func bad(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// badKeysOnly is flagged even without a value variable.
+func badKeysOnly(m map[int]bool) int {
+	n := 0
+	for k := range m { // want `range over map`
+		n += k
+	}
+	return n
+}
+
+// goodAnnotated documents why iteration order cannot matter.
+func goodAnnotated(m map[int]string) []string {
+	var out []string
+	//lint:orderfree output is sorted below, so visit order is irrelevant
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodSlice ranges over a slice: deterministic, never flagged.
+func goodSlice(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// goodTrailing suppresses with a trailing annotation on the same line.
+func goodTrailing(m map[int]int) int {
+	max := 0
+	for _, v := range m { //lint:orderfree max is order-insensitive
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

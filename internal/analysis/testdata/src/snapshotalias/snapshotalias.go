@@ -1,0 +1,92 @@
+// Fixture for the snapshotalias analyzer: exported snapshot methods must
+// copy internal mutable state, not alias it.
+package snapshotalias
+
+type Stats struct {
+	PerList []int64
+	Total   int64
+}
+
+type FlatStats struct {
+	Hits   int64
+	Misses int64
+}
+
+type View struct {
+	Items []int
+}
+
+type Engine struct {
+	items []int
+	index map[string]int
+	stats Stats
+	flat  FlatStats
+}
+
+// Items returns the live slice: callers see future mutations.
+func (e *Engine) Items() []int {
+	return e.items // want `reference to internal mutable state`
+}
+
+// Index returns the live map.
+func (e *Engine) Index() map[string]int {
+	return e.index // want `reference to internal mutable state`
+}
+
+// Stats returns a struct copy whose PerList field still aliases.
+func (e *Engine) Stats() Stats {
+	return e.stats // want `field PerList still aliases`
+}
+
+// StatsVia aliases through a local struct copy.
+func (e *Engine) StatsVia() Stats {
+	out := e.stats
+	return out // want `field PerList still aliases`
+}
+
+// Window aliases through reslicing.
+func (e *Engine) Window(n int) []int {
+	buf := e.items[:n]
+	return buf // want `reference to internal mutable state`
+}
+
+// Wrapped aliases inside a returned composite literal.
+func (e *Engine) Wrapped() View {
+	return View{Items: e.items} // want `reference to internal mutable state`
+}
+
+// FlatCopy copies a struct with no slice/map fields: safe.
+func (e *Engine) FlatCopy() FlatStats {
+	return e.flat
+}
+
+// ItemsCopy copies before returning: safe.
+func (e *Engine) ItemsCopy() []int {
+	out := make([]int, len(e.items))
+	copy(out, e.items)
+	return out
+}
+
+// StatsCopy re-points the aliasing field at fresh storage: safe.
+func (e *Engine) StatsCopy() Stats {
+	out := e.stats
+	out.PerList = make([]int64, len(e.stats.PerList))
+	copy(out.PerList, e.stats.PerList)
+	return out
+}
+
+// AppendTo extends a caller-owned slice with copied values: safe.
+func (e *Engine) AppendTo(dst []int) []int {
+	return append(dst, e.items...)
+}
+
+// Raw is a documented zero-copy contract.
+func (e *Engine) Raw() []int {
+	//lint:sharedslice documented contract: callers must copy before retaining
+	return e.items
+}
+
+// internalView is unexported: internal callers own the aliasing contract.
+func (e *Engine) internalView() []int {
+	return e.items
+}

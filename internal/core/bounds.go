@@ -73,11 +73,12 @@ type table struct {
 	src  *access.Source
 	lazy bool
 
-	depth   int
-	bottoms []model.Grade
-	parts   map[model.ObjectID]*partial
-	topk    []*partial // ≤ k entries, ordered best-first by (w, b, id)
-	cands   candHeap   // lazy engine: seen objects outside topk, not retired
+	depth    int
+	bottoms  []model.Grade
+	observed uint64 // invariants build: lists that produced ≥1 sorted entry
+	parts    map[model.ObjectID]*partial
+	topk     []*partial // ≤ k entries, ordered best-first by (w, b, id)
+	cands    candHeap   // lazy engine: seen objects outside topk, not retired
 
 	scratch []model.Grade
 
@@ -135,6 +136,9 @@ func (tb *table) refreshB(p *partial) {
 	if p.bDepth != tb.depth {
 		p.b = tb.computeB(p)
 		p.bDepth = tb.depth
+		if invariantsEnabled {
+			assertInvariant(p.w <= p.b, "object %d has W=%v > B=%v after refresh (Propositions 8.1/8.2)", p.obj, p.w, p.b)
+		}
 	}
 }
 
@@ -206,6 +210,9 @@ func (tb *table) learn(obj model.ObjectID, list int, g model.Grade) *partial {
 	p.w = tb.computeW(p)
 	p.b = tb.computeB(p)
 	p.bDepth = tb.depth
+	if invariantsEnabled {
+		assertInvariant(p.w <= p.b, "object %d has W=%v > B=%v (Propositions 8.1/8.2)", p.obj, p.w, p.b)
+	}
 
 	if p.retired {
 		// Proven non-viable: its grade can still be recorded (above)
@@ -253,6 +260,11 @@ func (tb *table) learn(obj model.ObjectID, list int, g model.Grade) *partial {
 
 // observeSorted processes one sorted-access result on list i.
 func (tb *table) observeSorted(i int, e model.Entry) {
+	if invariantsEnabled {
+		assertInvariant(tb.observed&(uint64(1)<<uint(i)) == 0 || e.Grade <= tb.bottoms[i],
+			"sorted list %d produced increasing grades: %v after bottom %v", i, e.Grade, tb.bottoms[i])
+		tb.observed |= uint64(1) << uint(i)
+	}
 	tb.bottoms[i] = e.Grade
 	tb.learn(e.Object, i, e.Grade)
 }
@@ -312,6 +324,7 @@ func (tb *table) randomPhase() {
 // outside T_k, or -Inf if none. Rescan engine only.
 func (tb *table) maxBOutsideRescan() model.Grade {
 	maxB := model.Grade(math.Inf(-1))
+	//lint:orderfree every part is visited exactly once and maxB is a pure reduction
 	for _, p := range tb.parts {
 		p.b = tb.computeB(p)
 		p.bDepth = tb.depth

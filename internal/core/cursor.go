@@ -228,6 +228,7 @@ func (c *NRACursor) View() CursorView {
 	c.viewItems = items
 	outside := c.OutsideB()
 	return CursorView{
+		//lint:sharedslice documented contract: the view buffer is reused; callers copy before the next Step
 		TopK:      items,
 		Threshold: tb.threshold(),
 		OutsideB:  outside,

@@ -41,6 +41,7 @@ func (FA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 
 	seen := make(map[model.ObjectID]*faState)
+	var order []model.ObjectID // discovery order: keeps phases 2 and 3 deterministic
 	fullMask := fullMask(m)
 	matched := 0
 	rounds := 0
@@ -57,6 +58,7 @@ func (FA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 			if st == nil {
 				st = &faState{grades: make([]model.Grade, m)}
 				seen[e.Object] = st
+				order = append(order, e.Object)
 			}
 			bit := uint64(1) << uint(i)
 			if st.known&bit == 0 {
@@ -70,8 +72,10 @@ func (FA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		src.ReportBuffer(len(seen))
 	}
 
-	// Phase 2: random access for every missing field of every seen object.
-	for obj, st := range seen {
+	// Phase 2: random access for every missing field of every seen object,
+	// in discovery order so the access trace is reproducible run to run.
+	for _, obj := range order {
+		st := seen[obj]
 		for i := 0; i < m; i++ {
 			bit := uint64(1) << uint(i)
 			if st.known&bit != 0 {
@@ -88,8 +92,8 @@ func (FA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 
 	// Phase 3: grade everything seen and keep the k best.
 	heap := NewTopKBuffer(k)
-	for obj, st := range seen {
-		heap.Offer(Scored{Object: obj, Grade: t.Apply(st.grades)})
+	for _, obj := range order {
+		heap.Offer(Scored{Object: obj, Grade: t.Apply(seen[obj].grades)})
 	}
 	items := heap.Snapshot()
 	for i := range items {

@@ -1,0 +1,19 @@
+//go:build invariants
+
+package core
+
+import "fmt"
+
+// invariantsEnabled gates the runtime assertion layer. With the tag the
+// checks run; without it the guarded blocks are dead code the compiler
+// eliminates, so the release build pays nothing.
+const invariantsEnabled = true
+
+// assertInvariant panics with a core-prefixed message when cond is false.
+// The invariants build is a debugging instrument: a violated invariant is a
+// bug in the algorithms, not a recoverable condition.
+func assertInvariant(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("core: invariant violated: "+format, args...))
+	}
+}

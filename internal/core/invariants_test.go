@@ -1,0 +1,28 @@
+//go:build invariants
+
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAssertInvariantFires proves the invariants build actually panics on a
+// violated condition — guarding against the assertion layer silently
+// compiling to a no-op under the tag.
+func TestAssertInvariantFires(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("assertInvariant(false, ...) did not panic under -tags invariants")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated: forced failure 42") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	if !invariantsEnabled {
+		t.Fatal("invariantsEnabled is false under -tags invariants")
+	}
+	assertInvariant(false, "forced failure %d", 42)
+}

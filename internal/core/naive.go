@@ -46,6 +46,7 @@ func (Naive) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		src.ReportBuffer(len(grades))
 	}
 	heap := NewTopKBuffer(k)
+	//lint:orderfree TopKBuffer.Offer is insertion-order-insensitive (canonical grade/ID tie-break)
 	for obj, gs := range grades {
 		heap.Offer(Scored{Object: obj, Grade: t.Apply(gs)})
 	}
@@ -102,6 +103,7 @@ func (MaxTopK) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		src.ReportBuffer(len(best))
 	}
 	heap := NewTopKBuffer(k)
+	//lint:orderfree TopKBuffer.Offer is insertion-order-insensitive (canonical grade/ID tie-break)
 	for obj, g := range best {
 		heap.Offer(Scored{Object: obj, Grade: g})
 	}

@@ -38,11 +38,10 @@ func (a *NRASorted) Run(src *access.Source, t agg.Func, k int) (*Result, error) 
 	}
 	inner := &NRA{Engine: a.Engine}
 	var (
-		ranked   []Scored
-		total    access.Stats
-		rounds   int
-		lastSet  = map[model.ObjectID]bool{}
-		lastByID = map[model.ObjectID]Scored{}
+		ranked  []Scored
+		total   access.Stats
+		rounds  int
+		lastSet = map[model.ObjectID]bool{}
 	)
 	for i := 1; i <= k; i++ {
 		src.Reset()
@@ -53,6 +52,8 @@ func (a *NRASorted) Run(src *access.Source, t agg.Func, k int) (*Result, error) 
 		st := res.Stats
 		total.Sorted += st.Sorted
 		total.Random += st.Random
+		total.ChargedSorted += st.ChargedSorted
+		total.ChargedRandom += st.ChargedRandom
 		total.WildGuesses += st.WildGuesses
 		total.BoundRecomputes += st.BoundRecomputes
 		if total.PerList == nil {
@@ -100,7 +101,6 @@ func (a *NRASorted) Run(src *access.Source, t agg.Func, k int) (*Result, error) 
 		lastSet = map[model.ObjectID]bool{}
 		for _, it := range ranked {
 			lastSet[it.Object] = true
-			lastByID[it.Object] = it
 		}
 	}
 	exact := true

@@ -141,6 +141,20 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	grades := make([]model.Grade, m)
 	threshold := func() model.Grade { return t.Apply(view.Bottom) }
 
+	// Invariants build: τ must never increase once every sorted-capable
+	// list has reported its first (largest) grade — before that, unseeded
+	// bottoms still sit at the default 1, which wide grades can exceed.
+	prevTau := model.Grade(math.Inf(1))
+	checkTau := func(tau model.Grade) {
+		for j := 0; j < m; j++ {
+			if view.Depth[j] == 0 && !view.Exhausted[j] && src.CanSorted(j) {
+				return
+			}
+		}
+		assertInvariant(tau <= prevTau, "TA threshold increased from %v to %v at depth %v", prevTau, tau, view.Depth)
+		prevTau = tau
+	}
+
 	finish := func(exact bool, tau model.Grade) *Result {
 		items := heap.Snapshot()
 		for i := range items {
@@ -224,6 +238,9 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 		src.ReportBuffer(retained)
 
 		tau := threshold()
+		if invariantsEnabled {
+			checkTau(tau)
+		}
 		if a.OnProgress != nil {
 			p := Progress{
 				TopK:      heap.Snapshot(),
@@ -286,6 +303,19 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 	bufs := make([]model.Entry, m*a.Batch)
 	counts := make([]int, m)
 	var progressScratch []Scored
+
+	// Invariants build: τ must never increase once every list has reported
+	// its first (largest) grade; see the single-step loop's checkTau.
+	prevTau := model.Grade(math.Inf(1))
+	checkTau := func(tau model.Grade) {
+		for j := 0; j < m; j++ {
+			if depth[j] == 0 && !exh[j] {
+				return
+			}
+		}
+		assertInvariant(tau <= prevTau, "TA threshold increased from %v to %v at depth %v", prevTau, tau, depth)
+		prevTau = tau
+	}
 
 	finish := func(exact bool, tau model.Grade) *Result {
 		items := heap.Snapshot()
@@ -361,6 +391,9 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 				heap.Offer(Scored{Object: e.Object, Grade: overall})
 				if heap.Full() {
 					tau := t.Apply(bottoms)
+					if invariantsEnabled {
+						checkTau(tau)
+					}
 					stop := float64(heap.Kth())*theta >= float64(tau)
 					if a.StrictStop {
 						stop = heap.Kth() > tau
@@ -382,6 +415,9 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 		src.ReportBuffer(retained)
 		if a.OnProgress != nil {
 			tau := t.Apply(bottoms)
+			if invariantsEnabled {
+				checkTau(tau)
+			}
 			progressScratch = heap.AppendSnapshot(progressScratch[:0])
 			p := Progress{
 				TopK:      progressScratch,

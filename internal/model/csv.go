@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -67,6 +68,9 @@ func ReadCSV(r io.Reader) (*Database, error) {
 			f, err := strconv.ParseFloat(rec[i+1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("model: CSV line %d grade %d %q: %w", line, i+1, rec[i+1], err)
+			}
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("model: CSV line %d grade %d is %v; grades must be finite", line, i+1, f)
 			}
 			grades[i] = Grade(f)
 		}

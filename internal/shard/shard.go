@@ -232,7 +232,7 @@ const taBatchRounds = 32
 // model.Database.Partition; p is clamped to the number of objects).
 func New(db *model.Database, p int) (*Engine, error) {
 	if db == nil {
-		return nil, fmt.Errorf("shard: nil database")
+		return nil, fmt.Errorf("shard: %w: nil database", core.ErrBadQuery)
 	}
 	shards, err := db.Partition(p)
 	if err != nil {
@@ -278,7 +278,7 @@ type ShardBackend struct {
 // objects).
 func FromBackends(shards []ShardBackend) (*Engine, error) {
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("shard: need at least one shard")
+		return nil, fmt.Errorf("shard: %w: need at least one shard", core.ErrBadQuery)
 	}
 	var m, total int
 	seen := make(map[model.ObjectID]int)
@@ -290,29 +290,29 @@ func FromBackends(shards []ShardBackend) (*Engine, error) {
 	for s, sb := range shards {
 		db := sb.DB
 		if db == nil {
-			return nil, fmt.Errorf("shard: shard %d is nil", s)
+			return nil, fmt.Errorf("shard: %w: shard %d is nil", core.ErrBadQuery, s)
 		}
 		if s == 0 {
 			m = db.M()
 		} else if db.M() != m {
-			return nil, fmt.Errorf("shard: shard %d has %d lists, want %d", s, db.M(), m)
+			return nil, fmt.Errorf("shard: %w: shard %d has %d lists, want %d", core.ErrBadQuery, s, db.M(), m)
 		}
 		if sb.Lists != nil {
 			if len(sb.Lists) != db.M() {
-				return nil, fmt.Errorf("shard: shard %d has %d backend lists, want %d", s, len(sb.Lists), db.M())
+				return nil, fmt.Errorf("shard: %w: shard %d has %d backend lists, want %d", core.ErrBadQuery, s, len(sb.Lists), db.M())
 			}
 			for i, l := range sb.Lists {
 				if l == nil {
-					return nil, fmt.Errorf("shard: shard %d backend list %d is nil", s, i)
+					return nil, fmt.Errorf("shard: %w: shard %d backend list %d is nil", core.ErrBadQuery, s, i)
 				}
 				if l.Len() != db.N() {
-					return nil, fmt.Errorf("shard: shard %d backend list %d serves %d entries, want %d", s, i, l.Len(), db.N())
+					return nil, fmt.Errorf("shard: %w: shard %d backend list %d serves %d entries, want %d", core.ErrBadQuery, s, i, l.Len(), db.N())
 				}
 			}
 		}
 		for _, obj := range db.Objects() {
 			if prev, dup := seen[obj]; dup {
-				return nil, fmt.Errorf("shard: object %d appears in shards %d and %d", obj, prev, s)
+				return nil, fmt.Errorf("shard: %w: object %d appears in shards %d and %d", core.ErrBadQuery, obj, prev, s)
 			}
 			seen[obj] = s
 		}

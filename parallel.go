@@ -68,7 +68,7 @@ func ParallelQueries(db *Database, specs []QuerySpec, workers int) []QueryOutcom
 // (core.ErrBadQuery) cannot drift from what Query itself would enforce.
 func validateSpec(db *Database, spec QuerySpec) error {
 	if db == nil {
-		return fmt.Errorf("nil database")
+		return fmt.Errorf("%w: nil database", ErrBadQuery)
 	}
 	return core.ValidateQueryShape(db.M(), db.N(), spec.Agg, spec.K)
 }

@@ -403,7 +403,7 @@ func NewShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec
 // when the spec declares none (querySharded passes Options.Costs).
 func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec, base CostModel) (*Sharded, error) {
 	if db == nil {
-		return nil, fmt.Errorf("repro: nil database")
+		return nil, fmt.Errorf("%w: nil database", ErrBadQuery)
 	}
 	if p < 1 {
 		return nil, fmt.Errorf("%w: shard count must be at least 1, got %d", ErrBadQuery, p)
@@ -560,7 +560,7 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 // shared scan).
 func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) {
 	if db == nil {
-		return nil, access.Policy{}, fmt.Errorf("repro: nil database")
+		return nil, access.Policy{}, fmt.Errorf("%w: nil database", ErrBadQuery)
 	}
 	if opts.Publish != PublishAuto || opts.PublishEvery != 0 {
 		return nil, access.Policy{}, fmt.Errorf("%w: publish batching applies only to sharded no-random-access queries", ErrBadQuery)
@@ -577,7 +577,7 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 		policy.SortedLists = make(map[int]bool, len(opts.SortedLists))
 		for _, i := range opts.SortedLists {
 			if i < 0 || i >= db.M() {
-				return nil, access.Policy{}, fmt.Errorf("repro: sorted list index %d out of range [0,%d)", i, db.M())
+				return nil, access.Policy{}, fmt.Errorf("%w: sorted list index %d out of range [0,%d)", ErrBadQuery, i, db.M())
 			}
 			policy.SortedLists[i] = true
 		}
@@ -620,7 +620,7 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 	case AlgoMaxTopK:
 		al = core.MaxTopK{}
 	default:
-		return nil, access.Policy{}, fmt.Errorf("repro: unknown algorithm %q", name)
+		return nil, access.Policy{}, fmt.Errorf("%w: unknown algorithm %q", ErrBadQuery, name)
 	}
 	return al, policy, nil
 }

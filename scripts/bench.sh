@@ -24,6 +24,11 @@ pattern="${1:-.}"
 # Documentation must stay navigable before the numbers matter.
 sh scripts/docs-check.sh
 
+# Invariants smoke: one TA pass with the runtime assertion layer compiled
+# in, so a benchmark run can't post numbers from an algorithm state the
+# assertions would reject.
+go test -tags invariants -run TestTA -count=1 ./internal/core
+
 # Capture to the file first and check go test's own exit status: in a
 # `go test | tee` pipeline the shell reports tee's status, so a failing
 # benchmark would otherwise ship a truncated BENCH_topk.json with exit 0.

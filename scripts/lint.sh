@@ -1,0 +1,35 @@
+#!/bin/sh
+# Run the repository's static-analysis gate, mirroring CI's lint job:
+#
+#   1. reprolint — the repo-specific analyzers in internal/analysis
+#      (charged access accounting, ErrBadQuery wrapping, map-iteration
+#      determinism, snapshot aliasing, blocking-under-lock).
+#   2. staticcheck and govulncheck, when installed.
+#
+# Under STRICT_LINT=1 (CI's lint job) the external tools are required;
+# otherwise a missing tool is skipped with a notice so the script works in
+# a bare checkout with nothing but the go toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "lint.sh: reprolint ./..." >&2
+go run ./cmd/reprolint ./...
+
+run_external() {
+    tool="$1"
+    shift
+    if command -v "$tool" >/dev/null 2>&1; then
+        echo "lint.sh: $tool $*" >&2
+        "$tool" "$@"
+    elif [ "${STRICT_LINT:-0}" = "1" ]; then
+        echo "lint.sh: $tool is required under STRICT_LINT=1 but not installed" >&2
+        exit 1
+    else
+        echo "lint.sh: $tool not installed; skipping (set STRICT_LINT=1 to require it)" >&2
+    fi
+}
+
+run_external staticcheck ./...
+run_external govulncheck ./...
+
+echo "lint.sh: ok" >&2
