@@ -54,7 +54,7 @@ func BatchQuery(db *Database, specs []QuerySpec, workers int) *BatchResult {
 			br.Outcomes[i].Err = fmt.Errorf("repro: query %d: %w: sharded specs do not compose with the shared scan; use ParallelQueries", i, ErrBadQuery)
 			continue
 		}
-		if specs[i].Opts.Backend != nil || specs[i].Opts.Cache != nil {
+		if specs[i].Opts.Backend != nil || specs[i].Opts.Cache != nil || specs[i].Opts.Fault != nil {
 			br.Outcomes[i].Err = fmt.Errorf("repro: query %d: %w: per-query backend stacks do not compose with the shared scan; use ParallelQueries", i, ErrBadQuery)
 			continue
 		}

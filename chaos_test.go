@@ -1,0 +1,254 @@
+package repro_test
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// chaosWorkloads is the battery the chaos properties run over: every grade
+// distribution the workload package generates, small enough to keep the
+// full matrix fast under -race.
+func chaosWorkloads(t *testing.T) map[string]*repro.Database {
+	t.Helper()
+	out := map[string]*repro.Database{}
+	add := func(name string, db *repro.Database, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out[name] = db
+	}
+	spec := func(seed int64) workload.Spec { return workload.Spec{N: 240, M: 3, Seed: seed} }
+	db, err := workload.IndependentUniform(spec(41))
+	add("uniform", db, err)
+	db, err = workload.Correlated(spec(42), 0.05)
+	add("correlated", db, err)
+	db, err = workload.AntiCorrelated(spec(43), 0.05)
+	add("anticorrelated", db, err)
+	db, err = workload.Zipf(spec(44), 2.0)
+	add("zipf", db, err)
+	db, err = workload.Plateau(spec(45), 6)
+	add("plateau", db, err)
+	db, err = workload.DistinctUniform(spec(46))
+	add("distinct", db, err)
+	return out
+}
+
+// gradeMultiset reduces an answer to its sorted grade multiset: the
+// tie-safe equality notion. Two runs that break a grade tie toward
+// different objects are both canonical answers, so object identity is not
+// comparable — the grades are.
+func gradeMultiset(db *repro.Database, tf repro.AggFunc, res *repro.Result) []float64 {
+	out := make([]float64, 0, len(res.Items))
+	for _, it := range res.Items {
+		out = append(out, float64(tf.Apply(db.Grades(it.Object))))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func sameMultiset(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosModes is every execution mode the fault injector supports, spanning
+// the sequential algorithms and the sharded engine at P ∈ {1, 4}.
+var chaosModes = []struct {
+	name string
+	opts repro.Options
+}{
+	{"ta", repro.Options{}},
+	{"nra", repro.Options{NoRandomAccess: true}},
+	{"ca", repro.Options{Algorithm: repro.AlgoCA}},
+	{"sharded-ta-p1", repro.Options{Shards: 1}},
+	{"sharded-ta-p4", repro.Options{Shards: 4}},
+	{"sharded-nra-p4", repro.Options{Shards: 4, NoRandomAccess: true}},
+	{"sharded-nra-cost-aware-p4", repro.Options{
+		Shards: 4, NoRandomAccess: true, Schedule: repro.ScheduleCostAware,
+	}},
+}
+
+// TestChaosTransientFaultsExactAnswers: transient faults are invisible in
+// the answer. With retries enabled, a run under a fault rate plus burst
+// outages must produce the same grade multiset as the fault-free run, in
+// every mode, on every workload — and must actually have hit faults.
+func TestChaosTransientFaultsExactAnswers(t *testing.T) {
+	const k = 10
+	tf := repro.Avg(3)
+	fault := &repro.FaultSpec{Rate: 0.05, BurstEvery: 300, BurstLen: 6, Seed: 7}
+	// A burst stalls retries for its whole length, so the policy must
+	// outlast BurstLen consecutive failures to ride out an outage window.
+	retry := repro.Retry{MaxAttempts: fault.BurstLen + 2, Budget: 4096}
+	for name, db := range chaosWorkloads(t) {
+		for _, mode := range chaosModes {
+			t.Run(name+"/"+mode.name, func(t *testing.T) {
+				clean, err := repro.Query(db, tf, k, mode.opts)
+				if err != nil {
+					t.Fatalf("fault-free: %v", err)
+				}
+				opts := mode.opts
+				opts.Fault = fault
+				opts.Retry = retry
+				res, err := repro.Query(db, tf, k, opts)
+				if err != nil {
+					t.Fatalf("faulty: %v", err)
+				}
+				if res.Stats.Faults == 0 {
+					t.Fatal("fault injector never fired — the run proves nothing")
+				}
+				if res.Stats.Retries < res.Stats.Faults {
+					t.Fatalf("%d faults but only %d retries", res.Stats.Faults, res.Stats.Retries)
+				}
+				if !res.GradesExact && !mode.opts.NoRandomAccess {
+					t.Fatal("transient faults degraded a random-access answer")
+				}
+				if res.Theta != clean.Theta {
+					t.Fatalf("θ drifted under transient faults: %g vs %g", res.Theta, clean.Theta)
+				}
+				got, want := gradeMultiset(db, tf, res), gradeMultiset(db, tf, clean)
+				if !sameMultiset(got, want) {
+					t.Fatalf("answer changed under transient faults:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosShardLossSoundTheta: losing a shard permanently must still
+// produce an answer, and its certified θ must satisfy the paper's
+// Section 6.2 condition against the full database: θ·t(y) ≥ t(z) for every
+// answer y and non-answer z.
+func TestChaosShardLossSoundTheta(t *testing.T) {
+	const k, p = 8, 4
+	tf := repro.Avg(3)
+	for name, db := range chaosWorkloads(t) {
+		for _, noRandom := range []bool{false, true} {
+			mode := "ta"
+			if noRandom {
+				mode = "nra"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				res, err := repro.Query(db, tf, k, repro.Options{
+					Shards:         p,
+					NoRandomAccess: noRandom,
+					Fault:          &repro.FaultSpec{DeadList: 1, Seed: 9},
+					Retry:          repro.Retry{MaxAttempts: 2},
+				})
+				if err != nil {
+					t.Fatalf("degraded query failed: %v", err)
+				}
+				if res.GradesExact || res.Theta < 1 || res.Stats.DeadShards != 1 {
+					t.Fatalf("degradation contract broken: exact=%v θ=%g dead=%d",
+						res.GradesExact, res.Theta, res.Stats.DeadShards)
+				}
+				// θ soundness against ground truth.
+				answers := make(map[repro.ObjectID]bool, k)
+				worst := math.Inf(1)
+				for _, it := range res.Items {
+					answers[it.Object] = true
+					if g := float64(tf.Apply(db.Grades(it.Object))); g < worst {
+						worst = g
+					}
+				}
+				for _, obj := range db.Objects() {
+					if answers[obj] {
+						continue
+					}
+					if z := float64(tf.Apply(db.Grades(obj))); res.Theta*worst < z-1e-12 {
+						t.Fatalf("θ=%g unsound: worst answer %g vs non-answer %g", res.Theta, worst, z)
+					}
+				}
+				// MinTheta: a generous floor accepts the same degraded run;
+				// a floor below the certified θ rejects with ErrBackend.
+				opts := repro.Options{
+					Shards:         p,
+					NoRandomAccess: noRandom,
+					Fault:          &repro.FaultSpec{DeadList: 1, Seed: 9},
+					Retry:          repro.Retry{MaxAttempts: 2},
+					MinTheta:       res.Theta + 1,
+				}
+				if _, err := repro.Query(db, tf, k, opts); err != nil {
+					t.Fatalf("MinTheta %g rejected certified θ=%g: %v", opts.MinTheta, res.Theta, err)
+				}
+				if res.Theta > 1 {
+					opts.MinTheta = 1
+					_, err := repro.Query(db, tf, k, opts)
+					if !errors.Is(err, repro.ErrBackend) {
+						t.Fatalf("MinTheta 1 vs θ=%g: want ErrBackend, got %v", res.Theta, err)
+					}
+					if errors.Is(err, repro.ErrBadQuery) {
+						t.Fatal("a too-weak answer is a backend failure, not a bad query")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosFaultSpecValidation pins the option-combination rules of the
+// fault layer at the public surface.
+func TestChaosFaultSpecValidation(t *testing.T) {
+	db := sampleDB(t)
+	tf := repro.Avg(3)
+	bad := []repro.Options{
+		{Fault: &repro.FaultSpec{Rate: 1.5}},
+		{Fault: &repro.FaultSpec{Rate: -0.1}},
+		{Fault: &repro.FaultSpec{BurstEvery: -1}},
+		{Fault: &repro.FaultSpec{DeadList: 99}},                 // only 3 lists
+		{Fault: &repro.FaultSpec{}, Algorithm: repro.AlgoFA},    // infallible scan
+		{Fault: &repro.FaultSpec{}, Algorithm: repro.AlgoNaive}, // infallible scan
+		{MinTheta: 1.5}, // sequential path cannot degrade
+		{Hedge: true},   // hedging needs the sharded serialized schedule
+		{Shards: 2, MinTheta: 0.5},
+		{Shards: 2, Hedge: true},
+	}
+	for i, opts := range bad {
+		if _, err := repro.Query(db, tf, 2, opts); !errors.Is(err, repro.ErrBadQuery) {
+			t.Fatalf("case %d (%+v): want ErrBadQuery, got %v", i, opts, err)
+		}
+	}
+	// Hedge is accepted exactly on the sharded serialized NRA schedule.
+	res, err := repro.Query(db, tf, 2, repro.Options{
+		Shards: 2, NoRandomAccess: true, Schedule: repro.ScheduleCostAware, Hedge: true,
+	})
+	if err != nil {
+		t.Fatalf("hedged sharded query: %v", err)
+	}
+	if res.Stats.DeadShards != 0 || res.Theta != 1 {
+		t.Fatalf("fault-free hedged run degraded: %+v", res.Stats)
+	}
+}
+
+// TestChaosBatchRejectsFault: the batch executor shares one scan across
+// queries, which a per-query fault plan cannot compose with — the spec is
+// rejected up front as a bad query, and ParallelQueries (per-query
+// cursors) accepts the same spec.
+func TestChaosBatchRejectsFault(t *testing.T) {
+	db := sampleDB(t)
+	spec := repro.QuerySpec{Agg: repro.Avg(3), K: 1,
+		Opts: repro.Options{Fault: &repro.FaultSpec{Rate: 0.1, Seed: 3}}}
+	br := repro.BatchQuery(db, []repro.QuerySpec{spec}, 0)
+	if err := br.Outcomes[0].Err; !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("batch: want ErrBadQuery, got %v", err)
+	}
+	outs := repro.ParallelQueries(db, []repro.QuerySpec{spec}, 0)
+	if outs[0].Err != nil {
+		t.Fatalf("parallel: %v", outs[0].Err)
+	}
+	if outs[0].Result.Items[0].Object != 1 {
+		t.Fatalf("parallel faulty answer: %v", outs[0].Result.Items)
+	}
+}

@@ -17,6 +17,10 @@
 //	topk -data db.csv -agg avg -k 10 -cs 1 -cr 8 -cost-aware-ta   (CA-style access planning)
 //	topk -data db.csv -agg avg -k 10 -shards 4 -no-random \
 //	     -remote -schedule adaptive                                (observed-cost feedback)
+//	topk -data db.csv -agg avg -k 10 -shards 4 \
+//	     -fault-rate 0.05 -fault-burst 500 -retry-budget 6         (chaos: transient faults, retried)
+//	topk -data db.csv -agg avg -k 10 -shards 4 \
+//	     -fault-dead-list 0 -min-theta 2                           (shard loss → θ-degraded answer)
 package main
 
 import (
@@ -59,6 +63,14 @@ func main() {
 		pageSize   = flag.Int("cache-page-size", 0, "entries per cached page (default 64)")
 		cacheMemo  = flag.Int("cache-memo", 0, "random-access memo capacity in grades (default 4096)")
 		schedule   = flag.String("schedule", "", "sharded NRA scheduling policy: wave|cost-aware|adaptive (default wave; adaptive feeds observed latency back into the cost-aware priorities)")
+
+		faultRate  = flag.Float64("fault-rate", 0, "per-access transient failure probability in [0,1] (enables the fault injector)")
+		faultBurst = flag.Int("fault-burst", 0, "open a 4-access outage window every this many accesses per list (0 = no bursts)")
+		faultDead  = flag.Int("fault-dead-list", -1, "kill this list (0-based) permanently — on the highest-index shard when sharded — to exercise θ-degradation (-1 = none)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedules")
+		retryMax   = flag.Int("retry-budget", 0, "max attempts per access for transient backend failures (0 = default policy: 4 attempts, 256 retries/query)")
+		hedge      = flag.Bool("hedge", false, "hedge straggling shard resumes (sharded NRA with -schedule cost-aware or adaptive)")
+		minTheta   = flag.Float64("min-theta", 0, "weakest accepted θ guarantee when shards are lost (0 = accept any finite θ; requires -shards)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -94,6 +106,16 @@ func main() {
 	if *useCache {
 		cacheSpec = &repro.CacheSpec{PageSize: *pageSize, Pages: *cachePages, Memo: *cacheMemo}
 	}
+	var faultSpec *repro.FaultSpec
+	if *faultRate > 0 || *faultBurst > 0 || *faultDead >= 0 {
+		faultSpec = &repro.FaultSpec{
+			Rate:       *faultRate,
+			BurstEvery: *faultBurst,
+			DeadList:   *faultDead + 1, // flag is 0-based, spec is 1-based
+			Seed:       *faultSeed,
+		}
+	}
+	retry := repro.Retry{MaxAttempts: *retryMax}
 	// Resolve the shard count once: the engine build, the query and the
 	// banner must all agree on it.
 	p := *shards
@@ -113,6 +135,10 @@ func main() {
 		Backend:        backendSpec,
 		Cache:          cacheSpec,
 		Schedule:       repro.Schedule(*schedule),
+		Fault:          faultSpec,
+		Retry:          retry,
+		MinTheta:       *minTheta,
+		Hedge:          *hedge,
 	}
 	var res *repro.Result
 	var eng *repro.Sharded
@@ -132,7 +158,7 @@ func main() {
 		if *theta != 0 {
 			fatal(fmt.Errorf("%w: sharding computes exact answers; -theta is not supported", repro.ErrBadQuery))
 		}
-		eng, err = repro.NewShardedStack(db, p, backendSpec, cacheSpec)
+		eng, err = repro.NewFaultyStack(db, p, backendSpec, faultSpec, cacheSpec)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,6 +170,9 @@ func main() {
 			Publish:        repro.PublishPolicy(*publish),
 			PublishEvery:   *publishR,
 			Schedule:       repro.Schedule(*schedule),
+			Retry:          retry,
+			MinTheta:       *minTheta,
+			Hedge:          *hedge,
 		})
 	} else {
 		res, err = repro.Query(db, t, *k, opts)
@@ -206,7 +235,13 @@ func main() {
 		fmt.Printf("cache: %d/%d sorted hits (%.1f%%), %d/%d probe hits\n",
 			hits, total, 100*rate, probeHits, probeHits+probeMisses)
 	}
-	if res.Theta > 1 {
+	if st := res.Stats; st.Faults > 0 || st.Retries > 0 || st.Hedges > 0 || st.DeadShards > 0 {
+		fmt.Printf("robustness: %d faults, %d retries, %d hedged resumes, %d dead shards\n",
+			st.Faults, st.Retries, st.Hedges, st.DeadShards)
+	}
+	if res.Stats.DeadShards > 0 {
+		fmt.Printf("degraded answer: θ = %.4g certified by the surviving shards\n", res.Theta)
+	} else if res.Theta > 1 {
 		fmt.Printf("approximation guarantee: θ = %.4g\n", res.Theta)
 	}
 }

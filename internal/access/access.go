@@ -17,6 +17,7 @@
 package access
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -75,6 +76,15 @@ type Stats struct {
 
 	MaxBuffered     int   // peak number of objects the algorithm retained
 	BoundRecomputes int64 // B/W bound evaluations (NRA/CA bookkeeping metric)
+
+	// Robustness counters. Faults and Retries are counted by the Source
+	// (one Fault per failed access attempt, one Retry per attempt granted
+	// by the retry policy); Hedges and DeadShards are coordinator-level and
+	// folded in by the sharded engine.
+	Faults     int64 // failed access attempts observed
+	Retries    int64 // retries the policy granted
+	Hedges     int64 // hedged shard resumes issued by the scheduler
+	DeadShards int64 // shards lost permanently and degraded around
 }
 
 // Depth returns the maximum sorted depth over all lists (the paper's d).
@@ -173,6 +183,20 @@ type Source struct {
 	costBuf []float64 // scratch for batched per-entry costs
 	trace   *Trace    // optional access recorder
 
+	// Fallible-path state. The fallible* slices are non-nil only where
+	// IsFallible reports the list can actually fail, so the Err accessors
+	// keep the infallible fast path for fault-free stacks. ctx, when bound,
+	// is checked at access granularity; retry is the normalized per-query
+	// retry policy with retryLeft its remaining budget.
+	fallible            []FallibleList
+	fallibleBatch       []FallibleBatchList
+	fallibleCosted      []FallibleCostedList
+	fallibleCostedBatch []FallibleCostedBatchList
+	ctx                 context.Context
+	retry               Retry
+	retryLeft           int
+	retrySeq            uint64
+
 	// unitOnly marks a source whose every list bills exactly UnitCosts
 	// (no costed or costed-batch backends), so the invariants build can
 	// assert the middleware-cost identity Charged == Accesses at halt.
@@ -201,14 +225,19 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 		}
 	}
 	s := &Source{
-		lists:       lists,
-		costed:      make([]CostedList, len(lists)),
-		batch:       make([]BatchList, len(lists)),
-		costedBatch: make([]CostedBatchList, len(lists)),
-		costs:       make([]CostModel, len(lists)),
-		pos:         make([]int, len(lists)),
-		policy:      policy,
-		stats:       Stats{PerList: make([]int64, len(lists))},
+		lists:               lists,
+		costed:              make([]CostedList, len(lists)),
+		batch:               make([]BatchList, len(lists)),
+		costedBatch:         make([]CostedBatchList, len(lists)),
+		fallible:            make([]FallibleList, len(lists)),
+		fallibleBatch:       make([]FallibleBatchList, len(lists)),
+		fallibleCosted:      make([]FallibleCostedList, len(lists)),
+		fallibleCostedBatch: make([]FallibleCostedBatchList, len(lists)),
+		costs:               make([]CostModel, len(lists)),
+		pos:                 make([]int, len(lists)),
+		policy:              policy,
+		stats:               Stats{PerList: make([]int64, len(lists))},
+		retry:               Retry{}.normalized(),
 	}
 	s.unitOnly = true
 	for i, l := range lists {
@@ -224,6 +253,20 @@ func FromLists(lists []ListSource, policy Policy) *Source {
 		}
 		if s.costs[i] != UnitCosts || s.costed[i] != nil || s.costedBatch[i] != nil {
 			s.unitOnly = false
+		}
+		if IsFallible(l) {
+			if fl, ok := l.(FallibleList); ok {
+				s.fallible[i] = fl
+			}
+			if fb, ok := l.(FallibleBatchList); ok {
+				s.fallibleBatch[i] = fb
+			}
+			if fcl, ok := l.(FallibleCostedList); ok {
+				s.fallibleCosted[i] = fcl
+			}
+			if fcb, ok := l.(FallibleCostedBatchList); ok {
+				s.fallibleCostedBatch[i] = fcb
+			}
 		}
 	}
 	return s
@@ -441,7 +484,9 @@ func (s *Source) Stats() Stats {
 
 // Reset rewinds all cursors and zeroes the accounting so the same Source
 // can serve another run. Internal index capacity (the seen-set, per-list
-// slices) is retained, so a pooled Source resets without reallocating.
+// slices) is retained, so a pooled Source resets without reallocating. The
+// previous query's context binding is dropped and the retry budget
+// re-armed; the retry policy itself persists until SetRetry changes it.
 func (s *Source) Reset() {
 	for i := range s.pos {
 		s.pos[i] = 0
@@ -450,6 +495,9 @@ func (s *Source) Reset() {
 	clear(perList)
 	s.stats = Stats{PerList: perList}
 	s.seen.reset()
+	s.ctx = nil
+	s.retryLeft = s.retry.Budget
+	s.retrySeq = 0
 }
 
 // ResetFor is Reset plus a policy swap: a pooled Source recycled for a new

@@ -170,6 +170,49 @@ func (r *Remote) AtN(pos int, dst []model.Entry) int {
 // AccessCosts implements Backend.
 func (r *Remote) AccessCosts() CostModel { return r.costs }
 
+// Fallible reports whether the wrapped source can fail; latency simulation
+// itself never fails, so a Remote over an infallible list keeps the
+// infallible fast path.
+func (r *Remote) Fallible() bool { return IsFallible(r.src) }
+
+// AtErr implements FallibleList, sleeping the sorted-access latency before
+// consulting the wrapped source (a failed access still paid the trip).
+func (r *Remote) AtErr(pos int) (model.Entry, error) {
+	r.delay(r.lat.Sorted)
+	return atErr(r.src, pos)
+}
+
+// GradeOfErr implements FallibleList.
+func (r *Remote) GradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
+	r.delay(r.lat.Random)
+	return gradeOfErr(r.src, obj)
+}
+
+// AtNErr implements FallibleBatchList: like AtN, each requested entry pays
+// its own simulated latency; entries past the first failure were neither
+// delivered nor delayed.
+func (r *Remote) AtNErr(pos int, dst []model.Entry) (int, error) {
+	n := r.src.Len() - pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if !IsFallible(r.src) {
+		return r.AtN(pos, dst), nil
+	}
+	for i := 0; i < n; i++ {
+		r.delay(r.lat.Sorted)
+		e, err := atErr(r.src, pos+i)
+		if err != nil {
+			return i, err
+		}
+		dst[i] = e
+	}
+	return n, nil
+}
+
 // SimulatedLatency returns the total latency injected so far.
 func (r *Remote) SimulatedLatency() time.Duration {
 	return time.Duration(r.sleptNS.Load())
@@ -259,6 +302,48 @@ func (m *Misdeclared) AtCostN(pos int, dst []model.Entry, costs []float64) int {
 		costs[i] = cs
 	}
 	return n
+}
+
+// Fallible reports whether the wrapped backend can fail; lying about costs
+// does not make accesses fail.
+func (m *Misdeclared) Fallible() bool { return IsFallible(m.backend) }
+
+// AtErr implements FallibleList.
+func (m *Misdeclared) AtErr(pos int) (model.Entry, error) { return atErr(m.backend, pos) }
+
+// GradeOfErr implements FallibleList.
+func (m *Misdeclared) GradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
+	return gradeOfErr(m.backend, obj)
+}
+
+// AtCostErr implements FallibleCostedList: the true sorted cost is billed
+// only for a delivered entry.
+func (m *Misdeclared) AtCostErr(pos int) (model.Entry, float64, error) {
+	e, err := atErr(m.backend, pos)
+	if err != nil {
+		return model.Entry{}, 0, err
+	}
+	return e, m.backend.AccessCosts().CS, nil
+}
+
+// GradeOfCostErr implements FallibleCostedList.
+func (m *Misdeclared) GradeOfCostErr(obj model.ObjectID) (model.Grade, bool, float64, error) {
+	g, ok, err := gradeOfErr(m.backend, obj)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	return g, ok, m.backend.AccessCosts().CR, nil
+}
+
+// AtCostNErr implements FallibleCostedBatchList: the delivered prefix bills
+// the true per-entry sorted cost.
+func (m *Misdeclared) AtCostNErr(pos int, dst []model.Entry, costs []float64) (int, error) {
+	n, err := fetchIntoErr(m.backend, pos, dst)
+	cs := m.backend.AccessCosts().CS
+	for i := 0; i < n; i++ {
+		costs[i] = cs
+	}
+	return n, err
 }
 
 // splitmix64 is the SplitMix64 mixer — a tiny, allocation-free way to turn

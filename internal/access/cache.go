@@ -299,6 +299,162 @@ func (l *cachedList) GradeOfCost(obj model.ObjectID) (model.Grade, bool, float64
 	return g, ok, l.costs.CR
 }
 
+// Fallible reports whether the wrapped backend can fail; the cache itself
+// never fails, so a cache over an infallible stack keeps the fast path.
+func (l *cachedList) Fallible() bool { return IsFallible(l.src) }
+
+// AtErr implements FallibleList.
+func (l *cachedList) AtErr(pos int) (model.Entry, error) {
+	e, _, err := l.AtCostErr(pos)
+	return e, err
+}
+
+// GradeOfErr implements FallibleList.
+func (l *cachedList) GradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
+	g, ok, _, err := l.GradeOfCostErr(obj)
+	return g, ok, err
+}
+
+// AtNErr implements FallibleBatchList. Sources prefer AtCostNErr (the
+// costed path) over this, so the per-call scratch is off the hot path.
+func (l *cachedList) AtNErr(pos int, dst []model.Entry) (int, error) {
+	return l.AtCostNErr(pos, dst, make([]float64, len(dst)))
+}
+
+// AtCostErr implements FallibleCostedList. A failed backend fetch leaves
+// the page slot unfilled and the hit/miss accounting untouched — the next
+// read retries the fetch, and a fault can never poison a page.
+func (l *cachedList) AtCostErr(pos int) (model.Entry, float64, error) {
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := pageKey{list: l.list, page: pos / c.cfg.PageSize}
+	off := pos % c.cfg.PageSize
+	el, ok := c.pages[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	} else {
+		el = c.lru.PushFront(&cachePage{
+			key:     key,
+			entries: make([]model.Entry, c.cfg.PageSize),
+			have:    make([]bool, c.cfg.PageSize),
+		})
+		c.pages[key] = el
+		c.evictPagesLocked()
+	}
+	pg := el.Value.(*cachePage)
+	if pg.have[off] {
+		c.stats.Hits++
+		c.stats.ChargedSaved += l.costs.CS
+		return pg.entries[off], 0, nil
+	}
+	//lint:lockheld single-flight: concurrent readers of a missing entry must not fetch it twice
+	e, err := atErr(l.src, pos)
+	if err != nil {
+		return model.Entry{}, 0, err
+	}
+	pg.entries[off] = e
+	pg.have[off] = true
+	c.stats.Misses++
+	return e, l.costs.CS, nil
+}
+
+// AtCostNErr implements FallibleCostedBatchList: AtCostN with the failure
+// contract. A miss run that fails mid-fetch caches and accounts only the
+// entries the backend actually delivered; the delivered prefix of dst is
+// valid and the error is returned for the caller's retry policy.
+func (l *cachedList) AtCostNErr(pos int, dst []model.Entry, costs []float64) (int, error) {
+	n := l.src.Len() - pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; {
+		key := pageKey{list: l.list, page: (pos + i) / c.cfg.PageSize}
+		off := (pos + i) % c.cfg.PageSize
+		span := c.cfg.PageSize - off
+		if span > n-i {
+			span = n - i
+		}
+		el, ok := c.pages[key]
+		if ok {
+			c.lru.MoveToFront(el)
+		} else {
+			el = c.lru.PushFront(&cachePage{
+				key:     key,
+				entries: make([]model.Entry, c.cfg.PageSize),
+				have:    make([]bool, c.cfg.PageSize),
+			})
+			c.pages[key] = el
+			c.evictPagesLocked()
+		}
+		pg := el.Value.(*cachePage)
+		for j := 0; j < span; {
+			if pg.have[off+j] {
+				dst[i+j] = pg.entries[off+j]
+				costs[i+j] = 0
+				c.stats.Hits++
+				c.stats.ChargedSaved += l.costs.CS
+				j++
+				continue
+			}
+			run := 1
+			for j+run < span && !pg.have[off+j+run] {
+				run++
+			}
+			//lint:lockheld single-flight: the miss run fills page slots other readers are waiting on
+			got, err := fetchIntoErr(l.src, pos+i+j, pg.entries[off+j:off+j+run])
+			for t := 0; t < got; t++ {
+				pg.have[off+j+t] = true
+				dst[i+j+t] = pg.entries[off+j+t]
+				costs[i+j+t] = l.costs.CS
+				c.stats.Misses++
+			}
+			if err != nil {
+				return i + j + got, err
+			}
+			j += run
+		}
+		i += span
+	}
+	return n, nil
+}
+
+// GradeOfCostErr implements FallibleCostedList. A failed probe memoizes
+// nothing and counts no miss.
+func (l *cachedList) GradeOfCostErr(obj model.ObjectID) (model.Grade, bool, float64, error) {
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := memoKey{list: l.list, obj: obj}
+	if el, ok := c.memo[key]; ok {
+		c.mlru.MoveToFront(el)
+		me := el.Value.(*memoEntry)
+		c.stats.ProbeHits++
+		c.stats.ChargedSaved += l.costs.CR
+		return me.grade, me.ok, 0, nil
+	}
+	//lint:lockheld single-flight: the memo must admit exactly one probe per missing object
+	g, ok, err := gradeOfErr(l.src, obj)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	el := c.mlru.PushFront(&memoEntry{key: key, grade: g, ok: ok})
+	c.memo[key] = el
+	for len(c.memo) > c.cfg.Memo {
+		last := c.mlru.Back()
+		c.mlru.Remove(last)
+		delete(c.memo, last.Value.(*memoEntry).key)
+	}
+	c.stats.ProbeMisses++
+	return g, ok, l.costs.CR, nil
+}
+
 // evictPagesLocked enforces the page LRU bound.
 func (c *Cache) evictPagesLocked() {
 	for len(c.pages) > c.cfg.Pages {

@@ -1,0 +1,82 @@
+package access
+
+import "time"
+
+// Retry is the per-query access retry policy: a transiently failed access
+// (errors.Is(err, ErrBackend), but not ErrListDown and not a context error)
+// is retried up to MaxAttempts-1 times with capped exponential backoff and
+// deterministic jitter, drawing every retry from one per-query Budget so a
+// pathologically flaky backend cannot stall a query forever. The zero value
+// means "use DefaultRetry" at the Options layer; Retry{MaxAttempts: 1}
+// disables retries outright.
+type Retry struct {
+	// MaxAttempts bounds the tries per access (1 = no retries).
+	MaxAttempts int
+	// Budget bounds the total retries per query across all lists.
+	Budget int
+	// Base and Max bound the backoff: attempt a sleeps
+	// min(Base·2^(a-1), Max), jittered to [0.5, 1.0]× deterministically
+	// from Seed and the query's retry sequence number.
+	Base time.Duration
+	Max  time.Duration
+	// Seed drives the jitter schedule.
+	Seed uint64
+}
+
+// DefaultRetry is the policy a zero Retry resolves to: four attempts per
+// access, 256 retries per query, 100µs base backoff capped at 10ms.
+var DefaultRetry = Retry{
+	MaxAttempts: 4,
+	Budget:      256,
+	Base:        100 * time.Microsecond,
+	Max:         10 * time.Millisecond,
+}
+
+// normalized resolves the policy a Source actually runs: a zero value
+// disables retries (the Options layers map zero to DefaultRetry before it
+// gets here), and partially-set fields inherit the defaults.
+func (r Retry) normalized() Retry {
+	if r == (Retry{}) {
+		return Retry{MaxAttempts: 1}
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = DefaultRetry.MaxAttempts
+	}
+	if r.Budget <= 0 {
+		r.Budget = DefaultRetry.Budget
+	}
+	if r.Base <= 0 {
+		r.Base = DefaultRetry.Base
+	}
+	if r.Max <= 0 {
+		r.Max = DefaultRetry.Max
+	}
+	return r
+}
+
+// Resolve maps the zero value to DefaultRetry and returns any other policy
+// unchanged — the rule every Options layer applies, in one place.
+func (r Retry) Resolve() Retry {
+	if r == (Retry{}) {
+		return DefaultRetry
+	}
+	return r
+}
+
+// backoff returns the sleep before retrying after the attempt-th failure
+// (attempt ≥ 1): capped exponential, jittered to [0.5, 1.0]× by the
+// seq-th draw of the seeded jitter sequence.
+func (r Retry) backoff(attempt int, seq uint64) time.Duration {
+	d := r.Base
+	for a := 1; a < attempt && d < r.Max; a++ {
+		d *= 2
+	}
+	if d > r.Max {
+		d = r.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	u := unitFloat(splitmix64(r.Seed ^ (seq * 0x9e3779b97f4a7c15)))
+	return time.Duration(float64(d) * (0.5 + 0.5*u))
+}

@@ -230,6 +230,77 @@ func (l *sharedList) trimLocked() {
 	l.base += drop
 }
 
+// atLockedErr is atLocked with the failure contract: a failed source read
+// leaves the window exactly as far as it successfully extended, so a later
+// retry resumes the fill without re-fetching delivered entries.
+func (l *sharedList) atLockedErr(id, pos int) (model.Entry, error) {
+	if pos < l.base {
+		e, err := atErr(l.src, pos)
+		if err != nil {
+			return model.Entry{}, err
+		}
+		l.fetched++
+		l.advanceLocked(id, pos)
+		return e, nil
+	}
+	for pos >= l.base+len(l.buf) {
+		e, err := atErr(l.src, l.base+len(l.buf))
+		if err != nil {
+			return model.Entry{}, err
+		}
+		l.buf = append(l.buf, e)
+		l.fetched++
+	}
+	if len(l.buf) > l.peak {
+		l.peak = len(l.buf)
+	}
+	e := l.buf[pos-l.base]
+	l.advanceLocked(id, pos)
+	l.trimLocked()
+	return e, nil
+}
+
+func (l *sharedList) atErr(id, pos int) (model.Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.atLockedErr(id, pos)
+}
+
+// atNErr serves the batch under one lock acquisition; the delivered prefix
+// is valid when an entry mid-batch fails.
+func (l *sharedList) atNErr(id, pos int, dst []model.Entry) (int, error) {
+	n := l.src.Len() - pos
+	if n <= 0 {
+		return 0, nil
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < n; i++ {
+		e, err := l.atLockedErr(id, pos+i)
+		if err != nil {
+			return i, err
+		}
+		dst[i] = e
+	}
+	return n, nil
+}
+
+func (l *sharedList) gradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
+	g, ok, err := gradeOfErr(l.src, obj)
+	if err != nil {
+		return 0, false, err
+	}
+	if ok {
+		l.mu.Lock()
+		l.random++
+		l.mu.Unlock()
+	}
+	return g, ok, nil
+}
+
 func (l *sharedList) gradeOf(obj model.ObjectID) (model.Grade, bool) {
 	g, ok := l.src.GradeOf(obj)
 	if ok {
@@ -269,3 +340,22 @@ func (v *consumerView) GradeOf(obj model.ObjectID) (model.Grade, bool) {
 // AccessCosts implements Backend when the underlying list declares costs,
 // so charged accounting flows through the shared scan unchanged.
 func (v *consumerView) AccessCosts() CostModel { return BackendCosts(v.l.src) }
+
+// Fallible reports whether the underlying list can fail; the window itself
+// cannot.
+func (v *consumerView) Fallible() bool { return IsFallible(v.l.src) }
+
+// AtErr implements FallibleList through the shared window.
+func (v *consumerView) AtErr(pos int) (model.Entry, error) {
+	return v.l.atErr(v.id, pos)
+}
+
+// AtNErr implements FallibleBatchList through the shared window.
+func (v *consumerView) AtNErr(pos int, dst []model.Entry) (int, error) {
+	return v.l.atNErr(v.id, pos, dst)
+}
+
+// GradeOfErr implements FallibleList; probes pass through individually.
+func (v *consumerView) GradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
+	return v.l.gradeOfErr(obj)
+}

@@ -14,17 +14,22 @@ import (
 // backend costs, unknown algorithm — wraps the ErrBadQuery sentinel via %w,
 // so callers (batch executors, the service layer to come) can distinguish
 // "your request is malformed" from "the engine failed" with one errors.Is.
-// PR 2 fixed a round of bare errors of exactly this kind; the analyzer
-// keeps them out. A bare `errors.New` or a `fmt.Errorf` without a %w verb
-// in a scoped package is flagged; genuinely non-validation errors carry
-// //lint:notbadquery with the reason.
+// The same discipline covers the failure side in internal/access: backend
+// failures wrap the ErrBackend sentinel via %w (ErrListDown wraps it in
+// turn), so retry and degradation layers branch on errors.Is instead of
+// error text. PR 2 fixed a round of bare errors of exactly this kind; the
+// analyzer keeps them out. A bare `errors.New` or a `fmt.Errorf` without a
+// %w verb in a scoped package is flagged; genuinely non-validation,
+// non-backend errors (and the sentinels themselves) carry //lint:notbadquery
+// with the reason.
 var ErrBadQuery = &Analyzer{
 	Name: "errbadquery",
 	Key:  "notbadquery",
-	Doc: "validation errors in repro, internal/shard and cmd/topk must wrap " +
-		"ErrBadQuery via %w; flag errors.New and fmt.Errorf without %w " +
-		"(//lint:notbadquery <reason> for genuine non-validation errors)",
-	Scope: []string{"repro", "repro/internal/shard", "repro/cmd/topk"},
+	Doc: "errors in repro, internal/shard, internal/access and cmd/topk must " +
+		"wrap their sentinel (ErrBadQuery for validation, ErrBackend for " +
+		"backend failures) via %w; flag errors.New and fmt.Errorf without %w " +
+		"(//lint:notbadquery <reason> for genuine unsentineled errors)",
+	Scope: []string{"repro", "repro/internal/shard", "repro/internal/access", "repro/cmd/topk"},
 	Run:   runErrBadQuery,
 }
 

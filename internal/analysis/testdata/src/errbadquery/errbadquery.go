@@ -40,3 +40,25 @@ func ioErr() error {
 	//lint:notbadquery a closed pipe is an environment failure, not a bad query
 	return errors.New("pipe closed")
 }
+
+// Backend-failure sentinels follow the same discipline in internal/access:
+// the root sentinel is annotated, everything downstream wraps it via %w.
+
+//lint:notbadquery the backend-failure sentinel itself cannot wrap itself
+var ErrBackend = errors.New("backend access failed")
+
+var ErrListDown = fmt.Errorf("list permanently down: %w", ErrBackend) // wrapped: ok
+
+// injectFault builds the error a fault injector returns: it must wrap
+// ErrBackend so retry and θ-degradation layers can branch on errors.Is.
+func injectFault(n uint64) error {
+	if n%2 == 0 {
+		return fmt.Errorf("access %d: transient failure: %w", n, ErrBackend) // wrapped: ok
+	}
+	return errors.New("transient failure") // want `errors.New cannot wrap`
+}
+
+// reportDead shows a backend-failure path that forgot the sentinel.
+func reportDead(list int) error {
+	return fmt.Errorf("list %d gave up after retries", list) // want `without %w`
+}

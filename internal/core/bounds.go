@@ -297,26 +297,34 @@ func (tb *table) drainTop(mk model.Grade) *partial {
 
 // resolveAll performs the random accesses for every missing field of p
 // (one CA/Intermittent resolution, and CostAwareTA's final pinning step).
-func (tb *table) resolveAll(p *partial) {
+// A backend failure aborts the loop mid-object; the fields already resolved
+// stay learned (bounds only tightened), and the error surfaces so the
+// caller's death ceiling still covers the partially resolved object.
+func (tb *table) resolveAll(p *partial) error {
 	for j := 0; j < tb.m; j++ {
 		if p.known&(uint64(1)<<uint(j)) != 0 {
 			continue
 		}
-		g, ok := tb.src.Random(j, p.obj)
+		g, ok, err := tb.src.RandomErr(j, p.obj)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			continue
 		}
 		tb.learn(p.obj, j, g)
 	}
+	return nil
 }
 
 // randomPhase performs one CA Step-2 phase (Section 8.2): resolve by random
 // access every missing field of the seen, viable object with the largest B,
 // or do nothing if no such object exists (footnote 15's escape clause).
-func (tb *table) randomPhase() {
+func (tb *table) randomPhase() error {
 	if target := tb.pickPhaseTarget(); target != nil {
-		tb.resolveAll(target)
+		return tb.resolveAll(target)
 	}
+	return nil
 }
 
 // maxBOutsideRescan recomputes B for every seen object (the paper's

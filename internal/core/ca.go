@@ -61,10 +61,15 @@ func (a *CA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 	for {
 		if !c.Step() {
+			if err := c.Err(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: CA exhausted all lists without satisfying the stopping rule")
 		}
 		if c.Depth()%h == 0 {
-			c.randomPhase()
+			if err := c.randomPhase(); err != nil {
+				return nil, err
+			}
 		}
 		if c.Halted() {
 			return c.Result(), nil

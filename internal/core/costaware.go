@@ -155,9 +155,12 @@ func (a *CostAwareTA) Run(src *access.Source, t agg.Func, k int) (*Result, error
 		if i == -1 {
 			// Every list exhausted: all grades are known, every bound is
 			// pinned, and the top-k is exact as it stands.
-			return a.finish(tb, view), nil
+			return a.finish(tb, view)
 		}
-		e, ok := src.SortedNext(i)
+		e, ok, err := src.SortedNextErr(i)
+		if err != nil {
+			return a.die(tb, view, err)
+		}
 		if !ok {
 			view.Exhausted[i] = true
 			continue
@@ -179,7 +182,9 @@ func (a *CostAwareTA) Run(src *access.Source, t agg.Func, k int) (*Result, error
 		sincePhase++
 		if sincePhase >= period {
 			sincePhase = 0
-			tb.randomPhase()
+			if err := tb.randomPhase(); err != nil {
+				return a.die(tb, view, err)
+			}
 		}
 		sinceProgress++
 		if a.OnProgress != nil && sinceProgress >= m {
@@ -201,16 +206,32 @@ func (a *CostAwareTA) Run(src *access.Source, t agg.Func, k int) (*Result, error
 			}
 		}
 		if tb.halted() {
-			return a.finish(tb, view), nil
+			return a.finish(tb, view)
 		}
 	}
+}
+
+// die assembles the degraded hand-off of a run killed by a backend failure:
+// the pinned candidates (exact grades, directly mergeable by the sharded
+// coordinator) plus an AccessError whose ceiling bounds the overall grade
+// of everything the run does not return — the unseen threshold, every
+// unpinned or outside candidate's B, and (via M_k, which only ever rose)
+// every candidate retired along the way.
+func (a *CostAwareTA) die(tb *table, view *SchedView, err error) (*Result, error) {
+	ceil := a.ceiling(tb)
+	if mk := tb.mk(); mk > ceil {
+		ceil = mk
+	}
+	return a.stopEarly(tb, view, math.Inf(1)), &AccessError{Ceiling: ceil, Err: err}
 }
 
 // finish pins the answer: every top-k member with missing fields is
 // resolved by random access. Sound because the stopping rule already
 // proved no outside object viable — resolution only raises member W values
-// (and therefore M_k), so the member set cannot change.
-func (a *CostAwareTA) finish(tb *table, view *SchedView) *Result {
+// (and therefore M_k), so the member set cannot change. A backend failure
+// during pinning degrades like a mid-run death: the members already pinned
+// are returned with the death ceiling.
+func (a *CostAwareTA) finish(tb *table, view *SchedView) (*Result, error) {
 	// Each resolution re-sorts the member list, so scan afresh until no
 	// member has missing fields (≤ k resolutions: each pins one object).
 	for {
@@ -224,7 +245,9 @@ func (a *CostAwareTA) finish(tb *table, view *SchedView) *Result {
 		if target == nil {
 			break
 		}
-		tb.resolveAll(target)
+		if err := tb.resolveAll(target); err != nil {
+			return a.die(tb, view, err)
+		}
 	}
 	items := make([]Scored, len(tb.topk))
 	for i, p := range tb.topk {
@@ -237,7 +260,7 @@ func (a *CostAwareTA) finish(tb *table, view *SchedView) *Result {
 		Theta:       1,
 		Rounds:      maxInt(view.Depth),
 		Stats:       tb.src.Stats(),
-	}
+	}, nil
 }
 
 // stopEarly assembles the result of a cancelled run: the candidates whose

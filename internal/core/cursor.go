@@ -31,6 +31,7 @@ type NRACursor struct {
 	tb  *table
 
 	exhausted   bool
+	err         error            // sticky backend failure; Step/StepN return false/0 once set
 	encountered []model.ObjectID // objects seen during the latest Step round
 	viewItems   []Scored         // reusable backing for View().TopK
 
@@ -84,14 +85,21 @@ func NewNRACursor(src *access.Source, t agg.Func, k int, engine Engine) (*NRACur
 // false — without consuming anything — once every list is exhausted, at
 // which point all grades are known and every interval is pinned.
 func (c *NRACursor) Step() bool {
-	if c.exhausted {
+	if c.exhausted || c.err != nil {
 		return false
 	}
 	c.tb.depth++
 	c.encountered = c.encountered[:0]
 	progress := false
 	for i := 0; i < c.tb.m; i++ {
-		e, ok := c.src.SortedNext(i)
+		e, ok, err := c.src.SortedNextErr(i)
+		if err != nil {
+			// Keep the entries this round already delivered (bounds only
+			// tightened) and go sticky-dead: the cursor's view stays
+			// consistent and callers read the failure from Err.
+			c.err = err
+			break
+		}
 		if !ok {
 			continue
 		}
@@ -103,11 +111,13 @@ func (c *NRACursor) Step() bool {
 		// Undo the depth bump: nothing was read, so bound freshness at
 		// the previous depth still holds and Depth stays meaningful.
 		c.tb.depth--
-		c.exhausted = true
+		if c.err == nil {
+			c.exhausted = true
+		}
 		return false
 	}
 	c.src.ReportBuffer(len(c.tb.parts))
-	return true
+	return c.err == nil
 }
 
 // StepN performs up to budget parallel sorted-access rounds in one call and
@@ -121,7 +131,7 @@ func (c *NRACursor) Step() bool {
 // once per call; encounteredObjects accumulates across all completed
 // rounds.
 func (c *NRACursor) StepN(budget int) int {
-	if c.exhausted || budget <= 0 {
+	if c.exhausted || c.err != nil || budget <= 0 {
 		return 0
 	}
 	if budget == 1 {
@@ -140,13 +150,20 @@ func (c *NRACursor) StepN(budget int) int {
 	counts := c.stepCounts[:m]
 	rounds := 0
 	for i := 0; i < m; i++ {
-		counts[i] = c.src.SortedNextN(i, c.stepBuf[i*budget:(i+1)*budget])
-		if counts[i] > rounds {
-			rounds = counts[i]
+		n, err := c.src.SortedNextNErr(i, c.stepBuf[i*budget:(i+1)*budget])
+		counts[i] = n
+		if err != nil && c.err == nil {
+			// Apply the delivered prefixes below, then go sticky-dead.
+			c.err = err
+		}
+		if n > rounds {
+			rounds = n
 		}
 	}
 	if rounds == 0 {
-		c.exhausted = true
+		if c.err == nil {
+			c.exhausted = true
+		}
 		return 0
 	}
 	c.encountered = c.encountered[:0]
@@ -161,12 +178,17 @@ func (c *NRACursor) StepN(budget int) int {
 			c.encountered = append(c.encountered, e.Object)
 		}
 	}
-	if rounds < budget {
+	if rounds < budget && c.err == nil {
 		c.exhausted = true
 	}
 	c.src.ReportBuffer(len(c.tb.parts))
 	return rounds
 }
+
+// Err returns the sticky backend failure that stopped the cursor, if any.
+// A cursor with a non-nil Err is not exhausted — its view and bounds remain
+// valid as of the failure — but Step and StepN refuse to advance it.
+func (c *NRACursor) Err() error { return c.err }
 
 // Halted evaluates the Section 8.1 stopping rule at the current depth: at
 // least k objects seen and no viable object — seen or unseen — outside the
@@ -247,8 +269,17 @@ func (c *NRACursor) Result() *Result { return c.tb.result(c.tb.depth) }
 func (c *NRACursor) encounteredObjects() []model.ObjectID { return c.encountered }
 
 // randomPhase performs one CA Step-2 phase (Section 8.2); see
-// table.randomPhase.
-func (c *NRACursor) randomPhase() { c.tb.randomPhase() }
+// table.randomPhase. A backend failure goes sticky, like a failed Step.
+func (c *NRACursor) randomPhase() error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.tb.randomPhase(); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
 
 // resolve resolves all missing fields of a previously seen object by random
 // access (Intermittent's delayed TA accesses). It fails if the object has
@@ -258,7 +289,10 @@ func (c *NRACursor) resolve(obj model.ObjectID) error {
 	if p == nil {
 		return fmt.Errorf("core: queued object %d has no bookkeeping entry", obj)
 	}
-	c.tb.resolveAll(p)
+	if err := c.tb.resolveAll(p); err != nil {
+		c.err = err
+		return err
+	}
 	return nil
 }
 

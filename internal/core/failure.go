@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// AccessError is how a run that died on a backend failure hands its
+// surviving evidence upward. Err is the underlying failure (wrapping
+// access.ErrBackend); Ceiling is the certified upper bound, at the moment
+// of death, on the overall grade of every object the run did NOT return in
+// its partial Result — unseen objects (bounded by the threshold value at
+// death) and any object evicted from or outside the run's buffer (bounded
+// by the structures the algorithm maintains for its own stopping rule).
+//
+// The sharded coordinator merges the partial Result's items like any other
+// shard's and uses Ceiling to compute the best θ the surviving shards can
+// certify: every non-answer z of the dead shard has t(z) ≤ Ceiling, so if
+// the merged answers all have t(y) ≥ g, the answer is θ-approximate with
+// θ = max(1, Ceiling/g) in the sense of Section 6.2.
+type AccessError struct {
+	Ceiling model.Grade
+	Err     error
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("core: access failed (certified ceiling %v): %v", e.Ceiling, e.Err)
+}
+
+// Unwrap exposes the underlying backend failure to errors.Is/As.
+func (e *AccessError) Unwrap() error { return e.Err }

@@ -59,6 +59,9 @@ func (a *Intermittent) Run(src *access.Source, t agg.Func, k int) (*Result, erro
 	var queue []model.ObjectID // encounters in TA time order
 	for {
 		if !c.Step() {
+			if err := c.Err(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: Intermittent exhausted all lists without satisfying the stopping rule")
 		}
 		queue = append(queue, c.encounteredObjects()...)

@@ -73,6 +73,9 @@ func (a *NRA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 	}
 	for {
 		if !c.Step() {
+			if err := c.Err(); err != nil {
+				return nil, err
+			}
 			// All lists exhausted: every grade of every object is
 			// known, so T_k is exact and halted() must have fired;
 			// this guards against infinite loops on malformed

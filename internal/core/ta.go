@@ -192,7 +192,15 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 			// (footnote 14's TAz halting case).
 			return finish(true, threshold()), nil
 		}
-		e, ok := src.SortedNext(i)
+		e, ok, err := src.SortedNextErr(i)
+		if err != nil {
+			// Death under sorted access: the final heap (merged upward by
+			// the sharded coordinator) plus τ bound everything this run
+			// did not return — unseen objects sit at or below τ, and every
+			// object evicted from the heap is below its kth grade.
+			tau := threshold()
+			return finish(false, tau), &AccessError{Ceiling: tau, Err: err}
+		}
 		if !ok {
 			view.Exhausted[i] = true
 			continue
@@ -215,7 +223,17 @@ func (a *TA) Run(src *access.Source, t agg.Func, k int) (*Result, error) {
 				if j == i {
 					continue
 				}
-				g, ok := src.Random(j, e.Object)
+				g, ok, err := src.RandomErr(j, e.Object)
+				if err != nil {
+					// Death mid-resolution: e.Object is not in the heap yet,
+					// so the ceiling must also cover it — its grade is at
+					// most t(grades seen so far, 1 everywhere unresolved).
+					tau := threshold()
+					return finish(false, tau), &AccessError{
+						Ceiling: maxGrade(tau, halfResolvedBound(t, grades, i, j, m)),
+						Err:     err,
+					}
+				}
 				if !ok {
 					return nil, fmt.Errorf("core: object %d missing from list %d", e.Object, j)
 				}
@@ -342,20 +360,33 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 
 	for {
 		rounds := 0
+		var fillErr error
 		for i := 0; i < m; i++ {
 			if exh[i] {
 				counts[i] = 0
 				continue
 			}
-			counts[i] = src.SortedNextN(i, bufs[i*a.Batch:(i+1)*a.Batch])
-			if src.Exhausted(i) || counts[i] == 0 {
+			n, err := src.SortedNextNErr(i, bufs[i*a.Batch:(i+1)*a.Batch])
+			counts[i] = n
+			if err != nil {
+				// The n delivered entries are valid: process them below so
+				// their evidence tightens τ and the heap before the run
+				// reports its death ceiling (or stops successfully anyway).
+				if fillErr == nil {
+					fillErr = err
+				}
+			} else if src.Exhausted(i) || n == 0 {
 				exh[i] = true
 			}
-			if counts[i] > rounds {
-				rounds = counts[i]
+			if n > rounds {
+				rounds = n
 			}
 		}
 		if rounds == 0 {
+			if fillErr != nil {
+				tau := t.Apply(bottoms)
+				return finish(false, tau), &AccessError{Ceiling: tau, Err: fillErr}
+			}
 			// Every list is exhausted: the grade of every object is known,
 			// so the current top-k is exact.
 			return finish(true, t.Apply(bottoms)), nil
@@ -377,7 +408,14 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 						if j == i {
 							continue
 						}
-						g, ok := src.Random(j, e.Object)
+						g, ok, err := src.RandomErr(j, e.Object)
+						if err != nil {
+							tau := t.Apply(bottoms)
+							return finish(false, tau), &AccessError{
+								Ceiling: maxGrade(tau, halfResolvedBound(t, grades, i, j, m)),
+								Err:     err,
+							}
+						}
 						if !ok {
 							return nil, fmt.Errorf("core: object %d missing from list %d", e.Object, j)
 						}
@@ -433,7 +471,34 @@ func (a *TA) runBatched(src *access.Source, t agg.Func, k int, theta float64) (*
 				return finish(false, tau), nil
 			}
 		}
+		if fillErr != nil {
+			// Every delivered entry was processed and the stopping rule did
+			// not fire, so the failure is fatal for this run: report the
+			// final view with τ as the death ceiling.
+			tau := t.Apply(bottoms)
+			return finish(false, tau), &AccessError{Ceiling: tau, Err: fillErr}
+		}
 	}
+}
+
+// halfResolvedBound bounds the overall grade of an object whose random
+// resolution died partway: grades[sorted] and grades[<failed] are known,
+// every list from the failed one on (except sorted, already known)
+// contributes the maximal grade 1.
+func halfResolvedBound(t agg.Func, grades []model.Grade, sorted, failed, m int) model.Grade {
+	for j := failed; j < m; j++ {
+		if j != sorted {
+			grades[j] = 1
+		}
+	}
+	return t.Apply(grades)
+}
+
+func maxGrade(a, b model.Grade) model.Grade {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func lookupMemo(memo map[model.ObjectID]model.Grade, obj model.ObjectID) (model.Grade, bool) {

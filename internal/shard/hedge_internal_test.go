@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+var errFake = errors.New("injected for test")
+
+// hedgeCoordinator builds a 3-shard coordinator with a full global top-2
+// (M_k = 0.2) and controlled per-shard ceilings 0.25 / 0.3 / 0.9, driven
+// entirely by outsideB (seenAll suppresses the τ term, and both table rows
+// sit inside the global top-k so ShardCeiling contributes nothing).
+func hedgeCoordinator() *nraCoordinator {
+	c := newNRACoordinator(3, 2, []int{2, 2, 2})
+	c.tbl.Upsert(1, 0, 0.3, 0.6)
+	c.tbl.Upsert(2, 1, 0.2, 0.5)
+	for s := range c.seenAll {
+		c.seenAll[s] = true
+	}
+	c.outsideB[0] = 0.25
+	c.outsideB[1] = 0.3
+	c.outsideB[2] = 0.9
+	return c
+}
+
+// TestPickCostAwareHedge pins down exactly when a hedged resume fires: the
+// picked shard must be the priority winner AND cost at least hedgeFactor
+// times the runner-up, and the hedge mate is the runner-up by priority.
+func TestPickCostAwareHedge(t *testing.T) {
+	// Cheap shard wins on priority: (0.3−0.2)/1 beats (0.9−0.2)/8. The
+	// pick is the *cheap* shard, so no hedge regardless of the flag.
+	c := hedgeCoordinator()
+	got := c.pickCostAware([]float64{1, 1, 8}, true)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("cheap winner: got %v, want [1]", got)
+	}
+
+	// Expensive shard wins on priority ((0.9−0.2)/8 > (0.25−0.2)/1) and
+	// costs 8× the runner-up: hedge pairs it with the runner-up.
+	c = hedgeCoordinator()
+	got = c.pickCostAware([]float64{1, 8, 8}, true)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("hedged straggler: got %v, want [2 0]", got)
+	}
+	// Same state without the flag: single pick.
+	got = c.pickCostAware([]float64{1, 8, 8}, false)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("hedge disabled: got %v, want [2]", got)
+	}
+
+	// Below the hedgeFactor ratio the straggler runs alone even with the
+	// flag set (cost 3× runner-up < hedgeFactor).
+	c = hedgeCoordinator()
+	got = c.pickCostAware([]float64{1, 3, 3}, true)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("sub-threshold ratio: got %v, want [2]", got)
+	}
+
+	// A dead shard is never picked and never hedges: with the straggler
+	// dead the remaining unresolved shards run normally.
+	c = hedgeCoordinator()
+	c.dead[2] = true
+	got = c.pickCostAware([]float64{1, 8, 8}, true)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("dead straggler skipped: got %v, want [0]", got)
+	}
+}
+
+// TestFinalizeReevaluatesCeilings: a dead shard's θ ceiling must come from
+// the *final* table state, not the state at death. Here the dead shard's
+// only contribution is an outsideB bound that later rises above maxG, so
+// finalize must cap it.
+func TestFinalizeReevaluatesCeilings(t *testing.T) {
+	c := hedgeCoordinator()
+	c.markDead(2)
+	deg := newDegraded(3)
+	deg.mark(2, 0, errFake)
+	floor := c.finalize(deg, model.Grade(0.7))
+	if floor != 0.2 {
+		t.Fatalf("θ floor = %g, want final M_k 0.2", floor)
+	}
+	// ceiling(2) is 0.9 from outsideB but maxG caps it at 0.7.
+	if deg.ceil[2] != 0.7 {
+		t.Fatalf("dead ceiling = %g, want capped 0.7", deg.ceil[2])
+	}
+	th, ok := deg.theta(floor, model.Grade(0.7))
+	if !ok || math.Abs(th-0.7/0.2) > 1e-12 {
+		t.Fatalf("theta = %g ok=%v, want %g", th, ok, 0.7/0.2)
+	}
+}

@@ -46,6 +46,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -73,6 +74,7 @@ type nraCoordinator struct {
 	outsideB  []model.Grade // per-shard max viable B outside the local top-k
 	seenAll   []bool        // shard has seen every one of its objects
 	exhausted []bool        // shard has consumed every list entirely
+	dead      []bool        // shard lost permanently; never resumed again
 
 	mkBits  atomic.Uint64 // Float64bits of the global k-th W, -Inf while table < k
 	stopped atomic.Bool   // external cancellation or a worker error
@@ -90,6 +92,7 @@ func newNRACoordinator(p, k int, ks []int) *nraCoordinator {
 		outsideB:  make([]model.Grade, p),
 		seenAll:   make([]bool, p),
 		exhausted: make([]bool, p),
+		dead:      make([]bool, p),
 		published: make(map[model.ObjectID]bool, 2*k),
 	}
 	for s := 0; s < p; s++ {
@@ -174,6 +177,40 @@ func (c *nraCoordinator) markExhausted(s int) {
 	c.mu.Unlock()
 }
 
+// markDead records a shard lost permanently: the scheduler never resumes it
+// again. Unlike markExhausted the shard's unseen-object bound τ_s stays in
+// its ceiling — the shard did not finish, so its unseen objects still exist
+// and are bounded only by what it last published.
+func (c *nraCoordinator) markDead(s int) {
+	c.mu.Lock()
+	c.dead[s] = true
+	c.mu.Unlock()
+}
+
+// finalize re-evaluates every dead shard's B-ceiling against the *final*
+// table state and stores it in deg, returning the θ floor (the final global
+// M_k). Death-time ceilings would be unsound: a dead shard's table row can
+// be evicted from the global top-k later — by a surviving shard's W rising —
+// with a frozen B above the ceiling at death. ShardCeiling over the final
+// membership covers exactly those rows; τ_s and outside-B only ever fall, so
+// their last published values remain valid bounds for everything the shard
+// never published. Each ceiling is capped at maxG = t(1,…,1).
+func (c *nraCoordinator) finalize(deg *degraded, maxG model.Grade) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s, isDead := range c.dead {
+		if !isDead {
+			continue
+		}
+		ceil := c.ceiling(s)
+		if ceil > maxG {
+			ceil = maxG
+		}
+		deg.ceil[s] = ceil
+	}
+	return float64(c.tbl.Mk())
+}
+
 // unresolved returns the shards whose B-ceiling still exceeds M_k and that
 // can still be stepped — the shards the coordinator must resume, typically
 // because one of their candidates was evicted from the global top-k after
@@ -184,28 +221,41 @@ func (c *nraCoordinator) unresolved() []int {
 	mk := c.tbl.Mk()
 	var out []int
 	for s := range c.exhausted {
-		if !c.exhausted[s] && c.ceiling(s) > mk {
+		if !c.exhausted[s] && !c.dead[s] && c.ceiling(s) > mk {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// pickCostAware returns the single unresolved shard with the best
-// bound-tightening value per unit of expected cost: argmax over shards of
+// hedgeFactor is the straggler threshold of hedged resumes: when the picked
+// shard's expected per-round cost is at least this many times the
+// runner-up's, Options.Hedge resumes the runner-up concurrently. Under the
+// adaptive schedule the costs are the EWMA observed estimates, so a backend
+// that *became* slow (degraded, not merely declared expensive) trips the
+// hedge within a few probes.
+const hedgeFactor = 4
+
+// pickCostAware returns the unresolved shard with the best bound-tightening
+// value per unit of expected cost: argmax over shards of
 // (ceiling − M_k) / stepCost. A shard that has never published has ceiling
 // +Inf, so the priorities of untouched shards tie at +Inf and resolve
 // toward the cheapest backend — expensive shards run last, against an M_k
 // their cheap siblings have already raised, and pause shallower than a
 // concurrent wave would let them.
-func (c *nraCoordinator) pickCostAware(stepCost []float64) []int {
+//
+// With hedge set, a pick whose expected per-round cost is hedgeFactor times
+// the runner-up's or more returns both: the straggler's resume is hedged by
+// the next-most-valuable shard, so one slow backend cannot serialize the
+// whole scheduling loop behind it.
+func (c *nraCoordinator) pickCostAware(stepCost []float64, hedge bool) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	mk := float64(c.tbl.Mk())
-	best := -1
-	var bestPrio float64
+	best, runner := -1, -1
+	var bestPrio, runnerPrio float64
 	for s := range c.exhausted {
-		if c.exhausted[s] {
+		if c.exhausted[s] || c.dead[s] {
 			continue
 		}
 		ceil := float64(c.ceiling(s))
@@ -214,12 +264,19 @@ func (c *nraCoordinator) pickCostAware(stepCost []float64) []int {
 		}
 		// ceil > mk rules out Inf−Inf, so prio is +Inf or finite, never NaN.
 		prio := (ceil - mk) / stepCost[s]
-		if best == -1 || prio > bestPrio || (prio == bestPrio && stepCost[s] < stepCost[best]) {
+		switch {
+		case best == -1 || prio > bestPrio || (prio == bestPrio && stepCost[s] < stepCost[best]):
+			runner, runnerPrio = best, bestPrio
 			best, bestPrio = s, prio
+		case runner == -1 || prio > runnerPrio || (prio == runnerPrio && stepCost[s] < stepCost[runner]):
+			runner, runnerPrio = s, prio
 		}
 	}
 	if best == -1 {
 		return nil
+	}
+	if hedge && runner != -1 && stepCost[best] >= hedgeFactor*stepCost[runner] {
+		return []int{best, runner}
 	}
 	return []int{best}
 }
@@ -331,6 +388,8 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 			ks[s] = n // a shard smaller than k contributes all its objects
 		}
 		srcs[s] = e.source(s, access.Policy{NoRandom: true})
+		srcs[s].BindContext(ctx)
+		srcs[s].SetRetry(opts.Retry.Resolve())
 		cur, err := core.NewNRACursor(srcs[s], t, ks[s], core.LazyEngine)
 		if err != nil {
 			return nil, err
@@ -357,9 +416,16 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		est = newCostEstimator(append([]float64(nil), stepCost...), ewmaAlpha)
 		probe = adaptiveProbeRounds
 	}
+	deg := newDegraded(p)
+	errs := make([]error, p)
+	var hedges int64
 	next := func() []int {
 		if serialized {
-			return coord.pickCostAware(stepCost)
+			picks := coord.pickCostAware(stepCost, opts.Hedge)
+			if len(picks) == 2 {
+				hedges++
+			}
+			return picks
 		}
 		return coord.unresolved()
 	}
@@ -414,21 +480,46 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 			}
 			return rem * stepCost[s]
 		}
+		stepped := make([]int, len(batch))
+		took := make([]time.Duration, len(batch))
 		ForEachWeighted(len(batch), opts.Workers, weight, func(i int) {
 			s := batch[i]
 			start := time.Now()
 			depth0 := cursors[s].Depth()
 			defer func() {
-				d := time.Since(start)
-				elapsed[s] += d
-				if est != nil {
-					// Adaptive batches are singletons (pickCostAware), so
-					// the estimator is never touched concurrently; the pool
-					// joins before the scheduler reads the estimates.
-					est.Observe(s, cursors[s].Depth()-depth0, d)
-				}
+				took[i] = time.Since(start)
+				elapsed[s] += took[i]
+				stepped[i] = cursors[s].Depth() - depth0
 			}()
 			cur := cursors[s]
+			// dieOrFail routes a shard failure: a backend lost past its
+			// retry budget kills only this shard (the answer degrades to a
+			// θ-approximation over the survivors), while anything else —
+			// including ctx expiry mid-access — fails the whole query.
+			dieOrFail := func(err error) {
+				if errors.Is(err, access.ErrBackend) && ctx.Err() == nil {
+					coord.markDead(s)
+					deg.mark(s, 0, err)
+					return
+				}
+				errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
+				coord.stopped.Store(true)
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					// The cursor's state is unknown, so nothing more is
+					// published; the shard's last published view (or, before
+					// any publish, the +Inf scalars capped at t(1,…,1))
+					// still bounds everything it never merged.
+					if e2, ok := r.(error); ok && errors.Is(e2, access.ErrBackend) {
+						dieOrFail(e2)
+						return
+					}
+					//lint:notbadquery a non-backend worker panic is an engine bug surfaced as an opaque error
+					errs[s] = fmt.Errorf("shard: shard %d: worker panicked: %v", s, r)
+					coord.stopped.Store(true)
+				}
+			}()
 			if soloSequential {
 				for {
 					if coord.stopped.Load() {
@@ -439,7 +530,15 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 						return
 					}
 					if !cur.Step() {
+						// Sticky-error cursors keep every delivered prefix
+						// applied, so the final view is consistent — publish
+						// it first; the tighter the last published bounds,
+						// the better the certified θ.
 						coord.publish(s, cur.View())
+						if err := cur.Err(); err != nil {
+							dieOrFail(err)
+							return
+						}
 						coord.markExhausted(s)
 						return
 					}
@@ -465,6 +564,10 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 				got := cur.StepN(b)
 				if got == 0 {
 					coord.publish(s, cur.View())
+					if err := cur.Err(); err != nil {
+						dieOrFail(err)
+						return
+					}
 					coord.markExhausted(s)
 					return
 				}
@@ -488,7 +591,17 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 		if est != nil {
+			// Observed serially after the pool joins: hedged batches run two
+			// workers concurrently, and the estimator is not safe for that.
+			for i, s := range batch {
+				est.Observe(s, stepped[i], took[i])
+			}
 			for s := range stepCost {
 				stepCost[s] = est.Estimate(s)
 			}
@@ -509,19 +622,31 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 			rounds = d
 		}
 		if per != nil {
-			per[s] = ShardStat{Stats: st, Elapsed: elapsed[s], Resumes: resumes[s]}
+			per[s] = ShardStat{Stats: st, Elapsed: elapsed[s], Resumes: resumes[s], Dead: deg.dead[s]}
 		}
 		e.recycle(s, srcs[s])
 	}
 	stats.MaxBuffered += coord.peak
-	if opts.OnShardStats != nil {
-		opts.OnShardStats(per)
-	}
-	return &core.Result{
+	stats.Hedges = hedges
+	res := &core.Result{
 		Items:       items,
 		GradesExact: exact,
 		Theta:       1,
 		Rounds:      rounds,
 		Stats:       stats,
-	}, nil
+	}
+	if deg.count > 0 {
+		// Every answer's W is a valid lower bound, so the final global M_k
+		// is the θ floor; each dead shard's ceiling is re-evaluated against
+		// the final table state under the coordinator lock.
+		floor := coord.finalize(deg, maxOverall(t, e.m))
+		var err error
+		if res, err = deg.degradeResult(res, opts, t, e.m, floor, p); err != nil {
+			return nil, err
+		}
+	}
+	if opts.OnShardStats != nil {
+		opts.OnShardStats(per)
+	}
+	return res, nil
 }

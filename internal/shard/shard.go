@@ -24,6 +24,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -104,6 +105,10 @@ type ShardStat struct {
 	Stats   access.Stats
 	Elapsed time.Duration
 	Resumes int
+	// Dead reports that the shard was lost permanently during the query —
+	// its backend failed past the retry budget — and the answer was degraded
+	// to a θ-approximation without the shard's full evidence.
+	Dead bool
 }
 
 // Options configures one sharded query.
@@ -156,9 +161,33 @@ type Options struct {
 	// parallelism. Setting a non-auto schedule without NoRandomAccess is
 	// rejected with ErrBadQuery.
 	Schedule Schedule
+	// Retry is the per-query retry policy every shard worker arms its
+	// Source with: transient backend failures (errors wrapping
+	// access.ErrBackend, except access.ErrListDown) are retried in place
+	// with capped exponential backoff, honoring ctx at every attempt. The
+	// zero value resolves to access.DefaultRetry; set MaxAttempts to 1 to
+	// disable retries entirely.
+	Retry access.Retry
+	// MinTheta is the weakest θ-approximation guarantee (Section 6.2) the
+	// caller accepts when shards are lost permanently and the answer
+	// degrades: 0 accepts any finite certified θ, a value ≥ 1 fails the
+	// query (with the underlying backend error) when the surviving shards
+	// certify only θ > MinTheta. Values in (0, 1) are rejected with
+	// ErrBadQuery — θ is by definition at least 1. Fault-free answers
+	// (θ = 1) always pass.
+	MinTheta float64
+	// Hedge lets the serialized no-random-access schedulers (cost-aware,
+	// adaptive) hedge a straggling resume: when the picked shard's expected
+	// per-round cost is hedgeFactor times the runner-up's or more, the
+	// runner-up is resumed concurrently as a hedge — a little extra charged
+	// cost buys wall-clock robustness against a slow or degraded backend.
+	// Stats.Hedges counts hedged resumes. Rejected with ErrBadQuery outside
+	// those schedules: the wave schedule already resumes every unresolved
+	// shard, and TA workers have no resume loop to hedge.
+	Hedge bool
 	// OnShardStats, when non-nil, is invoked once just before the query
 	// returns successfully with every shard's per-worker accounting,
-	// observed wall-clock and resume count, indexed by shard.
+	// observed wall-clock, resume count and death flag, indexed by shard.
 	OnShardStats func([]ShardStat)
 }
 
@@ -427,6 +456,10 @@ func addStats(dst *access.Stats, src access.Stats) {
 	dst.WildGuesses += src.WildGuesses
 	dst.BoundRecomputes += src.BoundRecomputes
 	dst.MaxBuffered += src.MaxBuffered
+	dst.Faults += src.Faults
+	dst.Retries += src.Retries
+	dst.Hedges += src.Hedges
+	dst.DeadShards += src.DeadShards
 	for i, d := range src.PerList {
 		dst.PerList[i] += d
 	}
@@ -464,6 +497,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	if err := core.ValidateQueryShape(e.m, e.n, t, k); err != nil {
 		return nil, err
 	}
+	if err := validateRobustness(opts); err != nil {
+		return nil, err
+	}
 	if opts.CostAwareTA && opts.NoRandomAccess {
 		return nil, fmt.Errorf("%w: cost-aware TA needs random access; the no-random-access mode plans costs through Options.Schedule instead", core.ErrBadQuery)
 	}
@@ -478,7 +514,10 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	}
 	p := len(e.shards)
 	coord := newCoordinator(k)
+	deg := newDegraded(p)
+	retry := opts.Retry.Resolve()
 	results := make([]*core.Result, p)
+	shardStats := make([]access.Stats, p)
 	elapsed := make([]time.Duration, p)
 	errs := make([]error, p)
 	ForEach(p, opts.Workers, func(s int) {
@@ -521,11 +560,31 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 			al = &core.TA{StrictStop: true, Memoize: opts.Memoize, OnProgress: onProgress, Batch: taBatchRounds}
 		}
 		src := e.source(s, access.AllowAll)
+		src.BindContext(ctx)
+		src.SetRetry(retry)
 		start := time.Now()
-		res, err := al.Run(src, t, ks)
+		res, err := runShard(func() (*core.Result, error) { return al.Run(src, t, ks) })
 		elapsed[s] = time.Since(start)
+		// Captured before recycling so dead workers (whose res may be nil
+		// after a panic) still account uniformly.
+		shardStats[s] = src.Stats()
 		e.recycle(s, src)
 		if err != nil {
+			if errors.Is(err, access.ErrBackend) && ctx.Err() == nil {
+				// The shard's backend failed past its retry budget. Keep
+				// whatever partial evidence the worker salvaged (its items
+				// carry exact grades, so the final fold can merge them) and
+				// degrade the answer to a θ-approximation instead of
+				// failing the whole query.
+				ceil := maxOverall(t, e.m)
+				var ae *core.AccessError
+				if errors.As(err, &ae) && ae.Ceiling < ceil {
+					ceil = ae.Ceiling
+				}
+				results[s] = res
+				deg.mark(s, ceil, err)
+				return
+			}
 			errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
 			coord.abort()
 			return
@@ -542,22 +601,22 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 	}
 	// Fold each worker's final answer into the global heap (progress
 	// reports already delivered them, but the final fold keeps the merge
-	// independent of report timing) and sum the accounting.
+	// independent of report timing) and sum the accounting. A dead shard's
+	// partial answer — exact grades salvaged before its backend died — folds
+	// in like any other; a shard lost to a panic left no result at all.
 	stats := access.Stats{PerList: make([]int64, e.m)}
 	rounds := 0
 	for _, res := range results {
+		if res == nil {
+			continue
+		}
 		coord.merge(res.Items)
-		addStats(&stats, res.Stats)
 		if res.Rounds > rounds {
 			rounds = res.Rounds
 		}
 	}
-	if opts.OnShardStats != nil {
-		per := make([]ShardStat, p)
-		for s, res := range results {
-			per[s] = ShardStat{Stats: res.Stats, Elapsed: elapsed[s]}
-		}
-		opts.OnShardStats(per)
+	for s := range shardStats {
+		addStats(&stats, shardStats[s])
 	}
 	// The coordinator's global TopKBuffer holds k items of its own on top
 	// of whatever the workers buffered.
@@ -567,11 +626,28 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 		items[i].Lower = items[i].Grade
 		items[i].Upper = items[i].Grade
 	}
-	return &core.Result{
+	res := &core.Result{
 		Items:       items,
 		GradesExact: true,
 		Theta:       1,
 		Rounds:      rounds,
 		Stats:       stats,
-	}, nil
+	}
+	if deg.count > 0 {
+		// Every grade in the global heap is exact and everything any live
+		// shard did not merge is bounded by the final kth grade (TA's
+		// cancellation argument), so the merged kth grade is the θ floor.
+		var err error
+		if res, err = deg.degradeResult(res, opts, t, e.m, coord.kth(), p); err != nil {
+			return nil, err
+		}
+	}
+	if opts.OnShardStats != nil {
+		per := make([]ShardStat, p)
+		for s := range per {
+			per[s] = ShardStat{Stats: shardStats[s], Elapsed: elapsed[s], Dead: deg.dead[s]}
+		}
+		opts.OnShardStats(per)
+	}
+	return res, nil
 }

@@ -56,6 +56,10 @@ type (
 	Stats = access.Stats
 	// ProgressView is the early-stopping callback view.
 	ProgressView = core.Progress
+	// Retry is the per-query retry policy for transient backend failures.
+	Retry = access.Retry
+	// ShardStat is one shard's per-query observability record.
+	ShardStat = shard.ShardStat
 )
 
 // NewBuilder starts a Database builder for m attributes.
@@ -65,6 +69,19 @@ func NewBuilder(m int) *Builder { return model.NewBuilder(m) }
 // combination wraps, on the sequential and sharded paths alike: check with
 // errors.Is(err, repro.ErrBadQuery).
 var ErrBadQuery = core.ErrBadQuery
+
+// ErrBackend is the identity every backend access failure wraps — transient
+// or permanent, injected or real: check with errors.Is(err, repro.ErrBackend).
+// It is disjoint from ErrBadQuery: a failed backend never looks like a
+// malformed query.
+var ErrBackend = access.ErrBackend
+
+// ErrListDown wraps ErrBackend and marks a list as permanently lost; the
+// retry layer gives up on it immediately instead of backing off.
+var ErrListDown = access.ErrListDown
+
+// DefaultRetry is the retry policy a zero Options.Retry resolves to.
+var DefaultRetry = access.DefaultRetry
 
 // Re-exported aggregation constructors.
 var (
@@ -213,6 +230,84 @@ type Options struct {
 	// sharded no-random-access mode; anything else is rejected with
 	// ErrBadQuery.
 	Schedule Schedule
+	// Fault, when non-nil, wraps every list with a deterministic seeded
+	// fault injector (above Backend, below Cache, when those are set):
+	// transient failures at the given rate, periodic outage bursts, and
+	// optionally one permanently dead list. Transient failures are retried
+	// per Retry; a list lost for good fails the sequential query with an
+	// error wrapping ErrBackend, while a sharded query degrades to a
+	// θ-approximation over the surviving shards (see MinTheta). Requires a
+	// failure-aware algorithm — TA (plain or cost-aware), NRA, CA, sharded
+	// or not; FA, Naive and MaxTopK reject it with ErrBadQuery.
+	Fault *FaultSpec
+	// Retry is the retry policy for transient backend failures (errors
+	// wrapping ErrBackend, except ErrListDown): capped exponential backoff
+	// with deterministic jitter, bounded per access by MaxAttempts and per
+	// query by Budget. The zero value resolves to DefaultRetry; set
+	// MaxAttempts to 1 to disable retries.
+	Retry Retry
+	// MinTheta is the weakest θ-approximation guarantee accepted when a
+	// sharded query loses shards permanently and degrades (Section 6.2):
+	// 0 accepts any finite certified θ; a value ≥ 1 fails the query when
+	// the survivors certify only θ > MinTheta; values in (0, 1) are
+	// rejected with ErrBadQuery. Requires Shards — the sequential path has
+	// no surviving shards to degrade over.
+	MinTheta float64
+	// Hedge lets the serialized sharded no-random-access schedulers
+	// (cost-aware, adaptive) hedge a straggling shard resume; see
+	// shard.Options.Hedge. Rejected with ErrBadQuery elsewhere.
+	Hedge bool
+}
+
+// FaultSpec configures the deterministic fault injector; see Options.Fault.
+type FaultSpec struct {
+	// Rate is the per-access probability of a transient failure, in [0, 1].
+	Rate float64
+	// BurstEvery opens an outage window every BurstEvery-th access on each
+	// list; the window's BurstLen consecutive accesses (default 4) all fail
+	// transiently. Zero disables bursts.
+	BurstEvery int
+	BurstLen   int
+	// DeadList, when positive, kills list number DeadList (1-based) for
+	// good: on the sequential path the logical list of that index, on the
+	// sharded path that list of the highest-index shard — which loses
+	// exactly one shard and exercises θ-degradation. Zero kills nothing.
+	DeadList int
+	// Hang stalls each injected failure for this long before returning it,
+	// simulating a hung backend.
+	Hang time.Duration
+	// Seed drives the per-list failure schedules deterministically.
+	Seed uint64
+}
+
+// validate rejects malformed fault specs.
+func (f *FaultSpec) validate() error {
+	if f.Rate < 0 || f.Rate > 1 {
+		return fmt.Errorf("%w: fault rate must be in [0, 1], got %g", ErrBadQuery, f.Rate)
+	}
+	if f.BurstEvery < 0 || f.BurstLen < 0 {
+		return fmt.Errorf("%w: fault burst configuration must be non-negative, got every=%d len=%d", ErrBadQuery, f.BurstEvery, f.BurstLen)
+	}
+	if f.DeadList < 0 {
+		return fmt.Errorf("%w: DeadList must be non-negative (1-based; 0 kills nothing), got %d", ErrBadQuery, f.DeadList)
+	}
+	if f.Hang < 0 {
+		return fmt.Errorf("%w: fault hang must be non-negative, got %v", ErrBadQuery, f.Hang)
+	}
+	return nil
+}
+
+// plan resolves the spec into list i's fault plan. Each list gets a
+// decorrelated seed; dead marks this list permanently down.
+func (f *FaultSpec) plan(seed uint64, dead bool) access.FaultPlan {
+	return access.FaultPlan{
+		Seed:       f.Seed ^ (seed+1)*0x9e3779b97f4a7c15,
+		Rate:       f.Rate,
+		BurstEvery: f.BurstEvery,
+		BurstLen:   f.BurstLen,
+		Dead:       dead,
+		Hang:       f.Hang,
+	}
 }
 
 // AutoShards is the Options.Shards sentinel asking the engine to pick the
@@ -368,10 +463,10 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 		return nil, err
 	}
 	var eng *Sharded
-	if opts.Backend == nil && opts.Cache == nil {
+	if opts.Backend == nil && opts.Cache == nil && opts.Fault == nil {
 		eng, err = shard.New(db, opts.Shards)
 	} else {
-		eng, err = newShardedStack(db, opts.Shards, opts.Backend, opts.Cache, costs)
+		eng, err = newShardedStack(db, opts.Shards, opts.Backend, opts.Fault, opts.Cache, costs)
 	}
 	if err != nil {
 		return nil, err
@@ -385,6 +480,9 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 		Publish:        opts.Publish,
 		PublishEvery:   opts.PublishEvery,
 		Schedule:       opts.Schedule,
+		Retry:          opts.Retry,
+		MinTheta:       opts.MinTheta,
+		Hedge:          opts.Hedge,
 	})
 }
 
@@ -396,12 +494,24 @@ func querySharded(db *Database, t AggFunc, k int, opts Options) (*Result, error)
 // heterogeneous backend costs, simulated latency, or a persistent cache;
 // Engine.CacheStats reports the per-shard hit rates.
 func NewShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec) (*Sharded, error) {
-	return newShardedStack(db, p, backend, cache, access.UnitCosts)
+	return newShardedStack(db, p, backend, nil, cache, access.UnitCosts)
+}
+
+// NewFaultyStack is NewShardedStack with a fault injector in the stack:
+// bottom to top, each shard's lists, the simulated remote backends (when
+// backend is non-nil), the deterministic fault injector, and the per-shard
+// cache (when cache is non-nil) — so faults hit cache misses exactly like a
+// flaky remote subsystem would, and cached entries keep serving reads while
+// the backend misbehaves. Queries on the returned engine should set
+// ShardOptions.Retry (zero resolves to DefaultRetry) and may bound
+// degradation with ShardOptions.MinTheta.
+func NewFaultyStack(db *Database, p int, backend *BackendSpec, fault *FaultSpec, cache *CacheSpec) (*Sharded, error) {
+	return newShardedStack(db, p, backend, fault, cache, access.UnitCosts)
 }
 
 // newShardedStack is NewShardedStack with the cost model backends inherit
 // when the spec declares none (querySharded passes Options.Costs).
-func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec, base CostModel) (*Sharded, error) {
+func newShardedStack(db *Database, p int, backend *BackendSpec, fault *FaultSpec, cache *CacheSpec, base CostModel) (*Sharded, error) {
 	if db == nil {
 		return nil, fmt.Errorf("%w: nil database", ErrBadQuery)
 	}
@@ -413,6 +523,14 @@ func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec
 			return nil, err
 		}
 	}
+	if fault != nil {
+		if err := fault.validate(); err != nil {
+			return nil, err
+		}
+		if fault.DeadList > db.M() {
+			return nil, fmt.Errorf("%w: DeadList %d exceeds the %d lists", ErrBadQuery, fault.DeadList, db.M())
+		}
+	}
 	dbs, err := db.Partition(p)
 	if err != nil {
 		return nil, err
@@ -420,7 +538,7 @@ func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec
 	shards := make([]shard.ShardBackend, len(dbs))
 	for s, sdb := range dbs {
 		sb := shard.ShardBackend{DB: sdb}
-		if backend != nil || cache != nil {
+		if backend != nil || cache != nil || fault != nil {
 			lists := make([]access.ListSource, sdb.M())
 			for i := range lists {
 				lists[i] = sdb.List(i)
@@ -429,6 +547,12 @@ func newShardedStack(db *Database, p int, backend *BackendSpec, cache *CacheSpec
 				cm, lat := backend.forShard(s, len(dbs), base)
 				for i := range lists {
 					lists[i] = access.NewRemote(lists[i], cm, lat)
+				}
+			}
+			if fault != nil {
+				for i := range lists {
+					dead := fault.DeadList > 0 && s == len(dbs)-1 && i == fault.DeadList-1
+					lists[i] = access.NewFaulty(lists[i], fault.plan(uint64(s*sdb.M()+i), dead))
 				}
 			}
 			if cache != nil {
@@ -519,7 +643,7 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	if opts.Backend == nil && opts.Cache == nil {
+	if opts.Backend == nil && opts.Cache == nil && opts.Fault == nil {
 		return al, access.New(db, policy), nil
 	}
 	costs, err := normalizeCosts(opts.Costs)
@@ -543,6 +667,12 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 			lists[i] = access.NewRemote(lists[i], cm, lat)
 		}
 	}
+	if opts.Fault != nil {
+		// resolve already validated the spec and the algorithm choice.
+		for i := range lists {
+			lists[i] = access.NewFaulty(lists[i], opts.Fault.plan(uint64(i), opts.Fault.DeadList == i+1))
+		}
+	}
 	if opts.Cache != nil {
 		c := access.NewCache(access.CacheConfig{
 			PageSize: opts.Cache.PageSize,
@@ -551,7 +681,9 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 		})
 		lists = access.WrapLists(c, lists)
 	}
-	return al, access.FromLists(lists, policy), nil
+	src := access.FromLists(lists, policy)
+	src.SetRetry(opts.Retry.Resolve())
+	return al, src, nil
 }
 
 // resolve maps Options to an algorithm and access policy without binding
@@ -567,6 +699,12 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 	}
 	if opts.Schedule != ScheduleAuto {
 		return nil, access.Policy{}, fmt.Errorf("%w: scheduling policies apply only to sharded no-random-access queries", ErrBadQuery)
+	}
+	if opts.MinTheta != 0 {
+		return nil, access.Policy{}, fmt.Errorf("%w: MinTheta applies to sharded queries; the sequential path has no surviving shards to degrade over", ErrBadQuery)
+	}
+	if opts.Hedge {
+		return nil, access.Policy{}, fmt.Errorf("%w: Hedge applies to sharded no-random-access queries under a serialized schedule", ErrBadQuery)
 	}
 	costs, err := normalizeCosts(opts.Costs)
 	if err != nil {
@@ -599,6 +737,19 @@ func resolve(db *Database, opts Options) (core.Algorithm, access.Policy, error) 
 		}
 		if opts.Theta > 1 {
 			return nil, access.Policy{}, fmt.Errorf("%w: CostAwareTA computes exact answers; θ-approximation is not supported", ErrBadQuery)
+		}
+	}
+	if opts.Fault != nil {
+		if err := opts.Fault.validate(); err != nil {
+			return nil, access.Policy{}, err
+		}
+		if opts.Fault.DeadList > db.M() {
+			return nil, access.Policy{}, fmt.Errorf("%w: DeadList %d exceeds the %d lists", ErrBadQuery, opts.Fault.DeadList, db.M())
+		}
+		switch name {
+		case AlgoTA, AlgoNRA, AlgoCA:
+		default:
+			return nil, access.Policy{}, fmt.Errorf("%w: fault injection requires a failure-aware algorithm (TA, NRA or CA), got %q", ErrBadQuery, name)
 		}
 	}
 	var al core.Algorithm

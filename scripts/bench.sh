@@ -41,7 +41,7 @@ go test -run '^$' -bench "$pattern" -benchmem . > BENCH_topk.txt 2>&1 || {
 cat BENCH_topk.txt
 
 if [ "$pattern" = "." ]; then
-    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan BenchmarkRemoteShards BenchmarkCostAwareTA BenchmarkAdaptiveSchedule; do
+    for required in BenchmarkShardedTA BenchmarkShardedNRA BenchmarkSharedScan BenchmarkRemoteShards BenchmarkCostAwareTA BenchmarkAdaptiveSchedule BenchmarkFallibleOverhead; do
         if ! grep -q "^$required" BENCH_topk.txt; then
             echo "bench.sh: expected $required in the benchmark output" >&2
             exit 1
@@ -60,6 +60,20 @@ if [ "$pattern" = "." ]; then
     END {
         if (v == "") { print "bench.sh: BenchmarkShardedTA/P8 reported no speedup-vs-seq" > "/dev/stderr"; exit 1 }
         if (v + 0 < 2.0) { printf "bench.sh: BenchmarkShardedTA/P8 speedup-vs-seq %s is below the 2.0 floor\n", v > "/dev/stderr"; exit 1 }
+    }
+    ' BENCH_topk.txt
+
+    # Robustness floor: the error-aware access path must collapse to the
+    # infallible fast path on a fault-free stack. A fallible-overhead
+    # ratio above 1.05 means a fault-free query started paying for the
+    # failure machinery it does not use.
+    awk '
+    $1 ~ /^BenchmarkFallibleOverhead/ {
+        for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == "fallible-overhead") v = $i
+    }
+    END {
+        if (v == "") { print "bench.sh: BenchmarkFallibleOverhead reported no fallible-overhead" > "/dev/stderr"; exit 1 }
+        if (v + 0 > 1.05) { printf "bench.sh: fallible-overhead %s exceeds the 1.05 ceiling\n", v > "/dev/stderr"; exit 1 }
     }
     ' BENCH_topk.txt
 fi
@@ -152,6 +166,27 @@ $1 ~ /^BenchmarkShardedTA\/P/ {
 END {
     printf "{\"summary\":\"columnar\""
     printf ",\"seed:P1:B/op\":5377986,\"seed:P2:B/op\":6144215,\"seed:P4:B/op\":6352352,\"seed:P8:B/op\":6719051"
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
+
+# Append the robustness summary: the fault-free cost of the error-aware
+# access path (guarded at ≤ 1.05 above) and the per-access cost of an
+# in-stack fault injector (informational — inherent to deterministic
+# injection, paid only when Options.Fault is set).
+awk '
+/^Benchmark/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "fallible-overhead" || unit == "injector-overhead") {
+            keys[++nk] = $1 ":" unit
+            vals[nk] = $i
+        }
+    }
+}
+END {
+    printf "{\"summary\":\"robustness\""
     for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
     print "}"
 }
