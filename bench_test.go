@@ -487,9 +487,40 @@ func BenchmarkSharedScan(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	// Untimed tier profile under a Zipf-like stream: power-law positions
+	// (u⁶-skewed, deterministic) concentrate accesses on a small head, the
+	// workload the tiered cache's hot tier is meant to serve for free
+	// while the cold tier absorbs the mid-tail at fractional cost. The
+	// skew puts roughly half the stream inside the 128-page budget, so a
+	// healthy tiered cache must clear a 0.2 hit rate.
+	zc := access.NewCache(access.CacheConfig{PageSize: 16, Pages: 32, ColdPages: 96})
+	zl, ok := zc.Wrap(0, access.NewRemote(db.List(0), access.CostModel{CS: 1, CR: 8}, access.Latency{})).(access.CostedList)
+	if !ok {
+		b.Fatal("cache wrapper lost the CostedList interface")
+	}
+	zipfCharged := 0.0
+	state := uint64(42)
+	for i := 0; i < 50000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := float64(state>>11) / float64(1<<53)
+		pos := int(float64(db.N()) * u * u * u * u * u * u)
+		if pos >= db.N() {
+			pos = db.N() - 1
+		}
+		_, cost := zl.AtCost(pos)
+		zipfCharged += cost
+	}
+	zs := zc.Stats()
+	if zs.HitRate() <= 0.2 {
+		b.Fatalf("tiered cache hit rate %.4f on the Zipf-like stream — head pages are not sticking", zs.HitRate())
+	}
+	ztotal := float64(zs.Hits + zs.ColdHits + zs.Misses)
 	b.ReportMetric(float64(indSorted), "independent-sorted")
 	b.ReportMetric(float64(sharedSorted), "shared-sorted")
 	b.ReportMetric(float64(indSorted)/float64(sharedSorted), "scan-sharing")
+	b.ReportMetric(zs.HitRate(), "zipf-hit-rate")
+	b.ReportMetric(float64(zs.ColdHits)/ztotal, "zipf-cold-hit-rate")
+	b.ReportMetric(zipfCharged, "zipf-charged")
 }
 
 // remoteShardStack partitions db into p shards behind simulated remote
@@ -499,7 +530,7 @@ func BenchmarkSharedScan(b *testing.B) {
 // cost-oblivious schedule that visits shards in index order pays the
 // straggler before any cheap evidence has raised M_k — the placement the
 // cost-aware scheduler is measured against.
-func remoteShardStack(b *testing.B, db *repro.Database, p int, factor float64, lat time.Duration, cached bool) *shard.Engine {
+func remoteShardStack(b *testing.B, db *repro.Database, p int, factor float64, lat time.Duration, cacheCfg *access.CacheConfig) *shard.Engine {
 	b.Helper()
 	dbs, err := db.Partition(p)
 	if err != nil {
@@ -521,8 +552,8 @@ func remoteShardStack(b *testing.B, db *repro.Database, p int, factor float64, l
 			lists[i] = access.NewRemote(sdb.List(i), cm, l)
 		}
 		sb := shard.ShardBackend{DB: sdb, Lists: lists}
-		if cached {
-			c := access.NewCache(access.CacheConfig{})
+		if cacheCfg != nil {
+			c := access.NewCache(*cacheCfg)
 			sb.Lists = access.WrapLists(c, lists)
 			sb.Cache = c
 		}
@@ -547,8 +578,16 @@ func remoteShardStack(b *testing.B, db *repro.Database, p int, factor float64, l
 // default's charge lands between the two, depending on interleaving).
 // The timed loop then issues a repeated-query stream against one
 // persistent *cached* engine with real simulated latency; cache-hit-rate
-// reports the page cache's hit fraction over the stream — the latency and
-// charge the cache absorbed.
+// reports the page cache's hit fraction (hot + cold tiers) over the
+// stream — the latency and charge the cache absorbed.
+//
+// Two further untimed comparisons guard the tiered-cache and batched-
+// remote claims deterministically: a scan-heavy access stream is replayed
+// against a flat LRU and a TinyLFU-admitted tiered cache of the same page
+// budget (the tiered cache must keep a higher hit rate and a lower
+// charged cost once deep scans exceed capacity), and the same prefix is
+// read through per-entry and batch-round-trip remotes (the batched model
+// must slash simulated latency while single-entry semantics stay intact).
 func BenchmarkRemoteShards(b *testing.B) {
 	db, err := workload.IndependentUniform(workload.Spec{N: 60000, M: 3, Seed: 24})
 	if err != nil {
@@ -557,8 +596,9 @@ func BenchmarkRemoteShards(b *testing.B) {
 	tf := agg.Avg(3)
 	const p, k, factor = 4, 10, 16
 	charged := make(map[shard.Schedule]float64, 2)
+	var uncachedAnswer []model.Grade
 	for _, sched := range []shard.Schedule{shard.ScheduleWave, shard.ScheduleCostAware} {
-		eng := remoteShardStack(b, db, p, factor, 0, false)
+		eng := remoteShardStack(b, db, p, factor, 0, nil)
 		res, err := eng.Query(tf, k, shard.Options{
 			NoRandomAccess: true, Workers: 1, Schedule: sched,
 		})
@@ -566,19 +606,79 @@ func BenchmarkRemoteShards(b *testing.B) {
 			b.Fatal(err)
 		}
 		charged[sched] = res.Stats.Charged()
+		if sched == shard.ScheduleCostAware {
+			uncachedAnswer = core.TrueGradeMultiset(db, tf, res.Items)
+		}
 	}
 	if charged[shard.ScheduleCostAware] >= charged[shard.ScheduleWave] {
 		b.Fatalf("cost-aware scheduler charged %g, wave charged %g — no cancellation savings on the skewed backend set",
 			charged[shard.ScheduleCostAware], charged[shard.ScheduleWave])
 	}
-	cached := remoteShardStack(b, db, p, factor, time.Microsecond, true)
+
+	// Scan resistance: the same repeat-heavy stream with periodic deep
+	// scans, against a flat LRU and a tiered cache splitting the *same*
+	// 256-page budget 64 hot / 192 cold. The scans cover twice the budget,
+	// so the flat LRU flushes its working set on every scan; the tiered
+	// cache's admission filter keeps the repeat-heavy pages in the cold
+	// tier and serves them at the fractional cold-hit cost.
+	lruStats, lruCharged := scanChargeStream(b, db, access.CacheConfig{PageSize: 16, Pages: 256, ColdPages: -1})
+	tierStats, tierCharged := scanChargeStream(b, db, access.CacheConfig{PageSize: 16, Pages: 64, ColdPages: 192})
+	if tierStats.HitRate() <= lruStats.HitRate() {
+		b.Fatalf("tiered cache hit rate %.4f did not beat flat LRU %.4f on the scan-heavy stream",
+			tierStats.HitRate(), lruStats.HitRate())
+	}
+	if tierCharged >= lruCharged {
+		b.Fatalf("tiered cache charged %g, flat LRU charged %g — no scan-resistance saving", tierCharged, lruCharged)
+	}
+	if tierStats.AdmissionRejects == 0 || tierStats.ColdHits == 0 {
+		b.Fatalf("tiered stream exercised no admission control: %+v", tierStats)
+	}
+	total := float64(tierStats.Hits + tierStats.ColdHits + tierStats.Misses)
+
+	// Batched remote: the same 32k-entry prefix read in 32-entry batches
+	// through a per-entry-latency remote and a batch-round-trip remote
+	// with identical jitter/straggler schedules. Entries must match
+	// exactly; only the simulated latency may differ.
+	const batchEntries, batchSize = 32768, 32
+	blat := access.Latency{Sorted: time.Microsecond, Jitter: 0.3, StragglerEvery: 97, Seed: 9}
+	perEntry := access.NewRemote(db.List(0), access.CostModel{CS: 1, CR: 8}, blat)
+	blat.BatchRTT = true
+	batchedRemote := access.NewRemote(db.List(0), access.CostModel{CS: 1, CR: 8}, blat)
+	pbuf := make([]model.Entry, batchSize)
+	bbuf := make([]model.Entry, batchSize)
+	for pos := 0; pos < batchEntries; pos += batchSize {
+		pn := perEntry.AtN(pos, pbuf)
+		bn := batchedRemote.AtN(pos, bbuf)
+		if pn != bn {
+			b.Fatalf("batch at %d: per-entry returned %d entries, batched %d", pos, pn, bn)
+		}
+		for j := 0; j < pn; j++ {
+			if pbuf[j] != bbuf[j] {
+				b.Fatalf("batch at %d entry %d: %v vs %v", pos, j, bbuf[j], pbuf[j])
+			}
+		}
+	}
+	batchSavings := float64(perEntry.SimulatedLatency()) / float64(batchedRemote.SimulatedLatency())
+	if batchSavings < 2 {
+		b.Fatalf("batched round-trip model saved only %.2fx simulated latency over per-entry draws", batchSavings)
+	}
+
+	cached := remoteShardStack(b, db, p, factor, time.Microsecond, &access.CacheConfig{})
 	// One untimed warm-up fills the caches, so the timed loop measures the
 	// hot-shard repeated-query path (and the hit rate is meaningful even
-	// at a single timed iteration).
-	if _, err := cached.Query(tf, k, shard.Options{
+	// at a single timed iteration). The cached answer must equal the
+	// uncached one as a tie-safe grade multiset.
+	warm, err := cached.Query(tf, k, shard.Options{
 		NoRandomAccess: true, Schedule: shard.ScheduleCostAware,
-	}); err != nil {
+	})
+	if err != nil {
 		b.Fatal(err)
+	}
+	cachedAnswer := core.TrueGradeMultiset(db, tf, warm.Items)
+	for i := range uncachedAnswer {
+		if cachedAnswer[i] != uncachedAnswer[i] {
+			b.Fatalf("cached engine's top-k grade multiset diverged from uncached at rank %d", i)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -595,7 +695,7 @@ func BenchmarkRemoteShards(b *testing.B) {
 	b.StopTimer()
 	var hits, misses int64
 	for _, cs := range cached.CacheStats() {
-		hits += cs.Hits
+		hits += cs.Hits + cs.ColdHits
 		misses += cs.Misses
 	}
 	rate := 0.0
@@ -606,6 +706,42 @@ func BenchmarkRemoteShards(b *testing.B) {
 	b.ReportMetric(charged[shard.ScheduleCostAware], "charged-cost-aware")
 	b.ReportMetric(charged[shard.ScheduleWave]/charged[shard.ScheduleCostAware], "cancel-savings")
 	b.ReportMetric(rate, "cache-hit-rate")
+	b.ReportMetric(lruStats.HitRate(), "lru-hit-rate")
+	b.ReportMetric(tierStats.HitRate(), "tiered-hit-rate")
+	b.ReportMetric(float64(tierStats.Hits)/total, "tiered-hot-hit-rate")
+	b.ReportMetric(float64(tierStats.ColdHits)/total, "tiered-cold-hit-rate")
+	b.ReportMetric(lruCharged/tierCharged, "tiered-savings")
+	b.ReportMetric(batchSavings, "batched-remote-savings")
+}
+
+// scanChargeStream replays a deterministic repeat-heavy access stream
+// with periodic deep scans against one cache-wrapped remote list: three
+// rounds of eight sequential passes over a 2048-entry working set, each
+// followed by an 8192-entry scan (512 pages of 16 — twice the 256-page
+// budget both cache shapes are given). It returns the cache's stats and
+// the total cost the stream was charged.
+func scanChargeStream(b *testing.B, db *repro.Database, cfg access.CacheConfig) (access.CacheStats, float64) {
+	b.Helper()
+	c := access.NewCache(cfg)
+	l, ok := c.Wrap(0, access.NewRemote(db.List(0), access.CostModel{CS: 1, CR: 8}, access.Latency{})).(access.CostedList)
+	if !ok {
+		b.Fatal("cache wrapper lost the CostedList interface")
+	}
+	const working, scan = 2048, 8192
+	charged := 0.0
+	for round := 0; round < 3; round++ {
+		for rep := 0; rep < 8; rep++ {
+			for pos := 0; pos < working; pos++ {
+				_, cost := l.AtCost(pos)
+				charged += cost
+			}
+		}
+		for pos := 0; pos < scan; pos++ {
+			_, cost := l.AtCost(pos)
+			charged += cost
+		}
+	}
+	return c.Stats(), charged
 }
 
 // BenchmarkCostAwareTA — cost-adaptive access planning at the ratio the

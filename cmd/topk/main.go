@@ -58,9 +58,13 @@ func main() {
 		jitter     = flag.Float64("backend-jitter", 0, "latency jitter fraction in [0,1] (with -remote)")
 		stragglers = flag.Int("backend-stragglers", 0, "number of highest-index shards whose backend costs/latency are stretched by -straggler-factor")
 		stragglerF = flag.Float64("straggler-factor", 0, "cost/latency multiplier for straggler shards (default 8)")
+		batchRTT   = flag.Bool("backend-batch-rtt", false, "batched sorted reads pay one round-trip draw per batch plus a per-entry marginal (with -remote)")
+		batchMarg  = flag.Float64("backend-batch-marginal", 0, "per-additional-entry latency fraction of the base sorted latency under -backend-batch-rtt (default 0.1)")
 		useCache   = flag.Bool("cache", false, "insert a per-shard page cache + random-access memo above the backends")
-		cachePages = flag.Int("cache-pages", 0, "page-cache capacity in pages (default 256)")
+		cachePages = flag.Int("cache-pages", 0, "hot-tier page-cache capacity in pages (default 256)")
 		pageSize   = flag.Int("cache-page-size", 0, "entries per cached page (default 64)")
+		coldPages  = flag.Int("cache-cold-pages", 0, "cold-tier capacity in pages behind the TinyLFU admission filter (default 4x -cache-pages; negative disables the cold tier)")
+		coldCost   = flag.Float64("cache-cold-hit-cost", 0, "fraction of the declared access cost charged per cold-tier hit (default 0.1; negative = free)")
 		cacheMemo  = flag.Int("cache-memo", 0, "random-access memo capacity in grades (default 4096)")
 		schedule   = flag.String("schedule", "", "sharded NRA scheduling policy: wave|cost-aware|adaptive (default wave; adaptive feeds observed latency back into the cost-aware priorities)")
 
@@ -100,11 +104,19 @@ func main() {
 			Jitter:          *jitter,
 			StragglerShards: *stragglers,
 			StragglerFactor: *stragglerF,
+			BatchRTT:        *batchRTT,
+			BatchMarginal:   *batchMarg,
 		}
 	}
 	var cacheSpec *repro.CacheSpec
 	if *useCache {
-		cacheSpec = &repro.CacheSpec{PageSize: *pageSize, Pages: *cachePages, Memo: *cacheMemo}
+		cacheSpec = &repro.CacheSpec{
+			PageSize:    *pageSize,
+			Pages:       *cachePages,
+			ColdPages:   *coldPages,
+			ColdHitCost: *coldCost,
+			Memo:        *cacheMemo,
+		}
 	}
 	var faultSpec *repro.FaultSpec
 	if *faultRate > 0 || *faultBurst > 0 || *faultDead >= 0 {
@@ -220,20 +232,26 @@ func main() {
 			res.Stats.ChargedSorted, res.Stats.ChargedRandom, res.Stats.Charged())
 	}
 	if eng != nil {
-		var hits, misses, probeHits, probeMisses int64
+		var agg repro.CacheStats
 		for _, cs := range eng.CacheStats() {
-			hits += cs.Hits
-			misses += cs.Misses
-			probeHits += cs.ProbeHits
-			probeMisses += cs.ProbeMisses
+			agg.Hits += cs.Hits
+			agg.ColdHits += cs.ColdHits
+			agg.Misses += cs.Misses
+			agg.ProbeHits += cs.ProbeHits
+			agg.ProbeMisses += cs.ProbeMisses
+			agg.Evictions += cs.Evictions
+			agg.HotEvictions += cs.HotEvictions
+			agg.ColdEvictions += cs.ColdEvictions
+			agg.AdmissionRejects += cs.AdmissionRejects
 		}
-		total := hits + misses
-		rate := 0.0
-		if total > 0 {
-			rate = float64(hits) / float64(total)
+		total := agg.Hits + agg.ColdHits + agg.Misses
+		fmt.Printf("cache: %d/%d sorted hits (%.1f%%: %d hot + %d cold), %d/%d probe hits\n",
+			agg.Hits+agg.ColdHits, total, 100*agg.HitRate(), agg.Hits, agg.ColdHits,
+			agg.ProbeHits, agg.ProbeHits+agg.ProbeMisses)
+		if agg.HotEvictions > 0 || agg.Evictions > 0 {
+			fmt.Printf("cache tiers: %d hot evictions (%d rejected by admission), %d cold evictions, %d pages dropped\n",
+				agg.HotEvictions, agg.AdmissionRejects, agg.ColdEvictions, agg.Evictions)
 		}
-		fmt.Printf("cache: %d/%d sorted hits (%.1f%%), %d/%d probe hits\n",
-			hits, total, 100*rate, probeHits, probeHits+probeMisses)
 	}
 	if st := res.Stats; st.Faults > 0 || st.Retries > 0 || st.Hedges > 0 || st.DeadShards > 0 {
 		fmt.Printf("robustness: %d faults, %d retries, %d hedged resumes, %d dead shards\n",

@@ -108,6 +108,20 @@ type Latency struct {
 	StragglerFactor float64
 	// Seed makes the jitter sequence reproducible.
 	Seed uint64
+	// BatchRTT switches batched sorted reads (AtN/AtNErr) to a batch
+	// round-trip model: the batch pays one full latency draw — consuming
+	// exactly one slot of the jitter/straggler sequence, like a single
+	// access — plus a deterministic per-entry marginal of
+	// BatchMarginal × Sorted for every entry after the first. A
+	// one-entry batch and the single-entry paths (At, AtErr, GradeOf)
+	// are unchanged. Off by default: every batched entry pays its own
+	// full draw, as if fetched one at a time.
+	BatchRTT bool
+	// BatchMarginal is the per-additional-entry latency fraction under
+	// BatchRTT (default 0.1; it is a fraction of the base Sorted
+	// latency, un-jittered — the batch's single draw already carried the
+	// round trip's variance).
+	BatchMarginal float64
 }
 
 // Remote wraps a ListSource as a simulated remote backend: every access is
@@ -149,10 +163,12 @@ func (r *Remote) GradeOf(obj model.ObjectID) (model.Grade, bool) {
 	return r.src.GradeOf(obj)
 }
 
-// AtN implements BatchList: one round trip's worth of entries, but each
-// entry still pays its own simulated latency (the same jitter/straggler
-// sequence n single At calls would consume), so batching changes call
-// overhead, not the modeled access cost.
+// AtN implements BatchList. By default each entry pays its own simulated
+// latency (the same jitter/straggler sequence n single At calls would
+// consume), so batching changes call overhead, not the modeled access
+// cost. With Latency.BatchRTT set the batch instead pays one round-trip
+// draw plus the per-entry marginal — the model of a real batch RPC, where
+// n entries share one wire round trip.
 func (r *Remote) AtN(pos int, dst []model.Entry) int {
 	n := r.src.Len() - pos
 	if n <= 0 {
@@ -161,9 +177,7 @@ func (r *Remote) AtN(pos int, dst []model.Entry) int {
 	if n > len(dst) {
 		n = len(dst)
 	}
-	for i := 0; i < n; i++ {
-		r.delay(r.lat.Sorted)
-	}
+	r.delayBatch(r.lat.Sorted, n)
 	return fetchInto(r.src, pos, dst[:n])
 }
 
@@ -188,9 +202,11 @@ func (r *Remote) GradeOfErr(obj model.ObjectID) (model.Grade, bool, error) {
 	return gradeOfErr(r.src, obj)
 }
 
-// AtNErr implements FallibleBatchList: like AtN, each requested entry pays
-// its own simulated latency; entries past the first failure were neither
-// delivered nor delayed.
+// AtNErr implements FallibleBatchList: like AtN, the batch pays per-entry
+// draws by default and one round trip plus per-entry marginals under
+// BatchRTT; entries past the first failure were neither delivered nor
+// delayed (under BatchRTT the round trip itself was still paid — a failed
+// batch RPC travelled the wire).
 func (r *Remote) AtNErr(pos int, dst []model.Entry) (int, error) {
 	n := r.src.Len() - pos
 	if n <= 0 {
@@ -202,8 +218,18 @@ func (r *Remote) AtNErr(pos int, dst []model.Entry) (int, error) {
 	if !IsFallible(r.src) {
 		return r.AtN(pos, dst), nil
 	}
-	for i := 0; i < n; i++ {
+	batched := r.lat.BatchRTT && n > 1
+	if batched {
 		r.delay(r.lat.Sorted)
+	}
+	for i := 0; i < n; i++ {
+		if batched {
+			if i > 0 {
+				r.sleepMarginal(r.lat.Sorted, 1)
+			}
+		} else {
+			r.delay(r.lat.Sorted)
+		}
 		e, err := atErr(r.src, pos+i)
 		if err != nil {
 			return i, err
@@ -238,6 +264,46 @@ func (r *Remote) delay(base time.Duration) {
 		d *= f
 	}
 	dur := time.Duration(d)
+	if dur <= 0 {
+		return
+	}
+	r.sleptNS.Add(int64(dur))
+	time.Sleep(dur)
+}
+
+// delayBatch sleeps for a batch of n sorted accesses: n independent draws
+// by default, or — under BatchRTT — one full draw (consuming exactly one
+// slot of the jitter/straggler sequence) plus the deterministic per-entry
+// marginal for the n−1 entries riding the same round trip. A one-entry
+// batch is indistinguishable from a single access in both modes.
+func (r *Remote) delayBatch(base time.Duration, n int) {
+	if n <= 0 || base <= 0 {
+		return
+	}
+	if !r.lat.BatchRTT || n == 1 {
+		for i := 0; i < n; i++ {
+			r.delay(base)
+		}
+		return
+	}
+	r.delay(base)
+	r.sleepMarginal(base, n-1)
+}
+
+// sleepMarginal injects the per-entry marginal of a batched round trip:
+// count entries at BatchMarginal × base each. The marginal is
+// deterministic — no jitter draw, the batch's single delay already
+// consumed the schedule slot — so a batch's total latency is one draw
+// plus a linear term.
+func (r *Remote) sleepMarginal(base time.Duration, count int) {
+	if base <= 0 || count <= 0 {
+		return
+	}
+	m := r.lat.BatchMarginal
+	if m <= 0 {
+		m = 0.1
+	}
+	dur := time.Duration(m * float64(base) * float64(count))
 	if dur <= 0 {
 		return
 	}

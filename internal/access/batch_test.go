@@ -48,6 +48,16 @@ func batchStack(t *testing.T, db *model.Database, kind string) (*Source, func() 
 		// evictions inside the scripted read pattern.
 		c := NewCache(CacheConfig{PageSize: 8, Pages: 4})
 		return FromLists(WrapLists(c, raw), AllowAll), c.Stats
+	case "tiered":
+		// Tiers tighter than the script's working set: every page churns
+		// through hot overflow, TinyLFU admission and cold-hit promotion,
+		// so the equivalence below pins the whole tier state machine.
+		c := NewCache(CacheConfig{PageSize: 4, Pages: 2, ColdPages: 3, ColdHitCost: 0.25})
+		return FromLists(WrapLists(c, raw), AllowAll), c.Stats
+	case "flatcache":
+		// The cold tier disabled: the pre-tiering single-LRU behavior.
+		c := NewCache(CacheConfig{PageSize: 8, Pages: 4, ColdPages: -1})
+		return FromLists(WrapLists(c, raw), AllowAll), c.Stats
 	case "sharedscan":
 		ss := NewSharedScan(raw)
 		src, release := ss.Attach(AllowAll)
@@ -141,7 +151,7 @@ func TestSortedNextNMatchesSingleStep(t *testing.T) {
 	const n, m = 40, 3
 	db := batchTestDB(t, n, m)
 	ops := batchScript(n, m)
-	for _, kind := range []string{"plain", "remote", "cache", "sharedscan", "misdeclared"} {
+	for _, kind := range []string{"plain", "remote", "cache", "tiered", "flatcache", "sharedscan", "misdeclared"} {
 		t.Run(kind, func(t *testing.T) {
 			single, singleCache := batchStack(t, db, kind)
 			batched, batchedCache := batchStack(t, db, kind)

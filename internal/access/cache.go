@@ -14,8 +14,21 @@ type CacheConfig struct {
 	// span a read asked for, so caching never performs a physical access a
 	// consumer did not ask for.
 	PageSize int
-	// Pages bounds the LRU of (list, prefix-page) pages (default 256).
+	// Pages bounds the hot tier: the LRU of (list, prefix-page) pages
+	// whose hits cost nothing (default 256).
 	Pages int
+	// ColdPages bounds the cold tier behind the hot one. A page evicted
+	// from the hot tier is demoted into the cold tier subject to TinyLFU
+	// frequency admission; a cold hit promotes the page back to hot and
+	// charges ColdHitCost of the backend's declared cost. Zero defaults
+	// to 4× Pages; negative disables the cold tier entirely, restoring
+	// the flat single-LRU cache.
+	ColdPages int
+	// ColdHitCost is the fraction of the wrapped backend's declared
+	// per-access cost charged when an access is served from the cold
+	// tier (default 0.1; negative means cold hits are free; values above
+	// 1 are clamped — a cold hit never costs more than a miss).
+	ColdHitCost float64
 	// Memo bounds the random-access memo: the number of (list, object)
 	// grades retained across queries (default 4096).
 	Memo int
@@ -28,6 +41,20 @@ func (c CacheConfig) withDefaults() CacheConfig {
 	if c.Pages <= 0 {
 		c.Pages = 256
 	}
+	switch {
+	case c.ColdPages == 0:
+		c.ColdPages = 4 * c.Pages
+	case c.ColdPages < 0:
+		c.ColdPages = 0 // flat: no cold tier
+	}
+	switch {
+	case c.ColdHitCost == 0:
+		c.ColdHitCost = 0.1
+	case c.ColdHitCost < 0:
+		c.ColdHitCost = 0
+	case c.ColdHitCost > 1:
+		c.ColdHitCost = 1
+	}
 	if c.Memo <= 0 {
 		c.Memo = 4096
 	}
@@ -39,30 +66,58 @@ func (c CacheConfig) withDefaults() CacheConfig {
 // so cachedPhysical = Misses + ProbeMisses is directly comparable with an
 // uncached run's access counts.
 type CacheStats struct {
-	Hits        int64 // sorted entries served from a cached page
+	Hits        int64 // sorted entries served from the hot tier (cost 0)
+	ColdHits    int64 // sorted entries served from the cold tier (ColdHitCost × declared)
 	Misses      int64 // sorted entries fetched from the backend (and cached)
 	ProbeHits   int64 // random probes served from the memo
 	ProbeMisses int64 // random probes passed through to the backend
-	Evictions   int64 // pages evicted by the LRU bound
+	Evictions   int64 // pages dropped from the cache entirely
+	// HotEvictions counts pages demoted out of the hot tier; with a cold
+	// tier configured each demotion then either lands in the cold tier
+	// (possibly displacing a sampled minimum-frequency victim, counted in
+	// ColdEvictions) or is refused by the admission filter (counted in
+	// AdmissionRejects and Evictions). Without a cold tier every hot
+	// eviction is a plain eviction.
+	HotEvictions     int64
+	ColdEvictions    int64 // cold-tier residents displaced by an admitted page
+	AdmissionRejects int64 // demoted pages the TinyLFU filter refused to admit
 	// ChargedSaved is the middleware cost the cache absorbed: Σ of the
-	// wrapped backends' declared per-access costs over all hits.
+	// wrapped backends' declared per-access costs over all hits, minus
+	// the ColdHitCost fraction cold-tier hits still charge.
 	ChargedSaved float64
 }
 
-// HitRate returns the sorted-page hit fraction (0 when nothing was read).
+// HitRate returns the sorted-page hit fraction across both tiers (0 when
+// nothing was read).
 func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.ColdHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.ColdHits) / float64(total)
 }
 
-// Cache is a per-shard middleware cache shared across queries: a bounded
-// LRU of (list, prefix-page) sorted pages plus a bounded random-access
-// memo. Hot shards stop re-fetching the same list prefixes — the second
-// query over a shard reads the pages the first one filled — and repeated
-// random probes of the same object are answered from the memo.
+// Cache is a per-shard middleware cache shared across queries: a two-tier
+// bounded LRU of (list, prefix-page) sorted pages plus a bounded
+// random-access memo. Hot shards stop re-fetching the same list prefixes —
+// the second query over a shard reads the pages the first one filled — and
+// repeated random probes of the same object are answered from the memo.
+//
+// The page store is segmented into a small hot tier (hits cost nothing, as
+// a flat LRU's do) over a larger cold tier whose hits charge a configurable
+// fraction of the backend's declared cost — the model of a compressed or
+// second-level store that is much cheaper than the backend but not free. A
+// hot-tier overflow demotes its LRU victim toward the cold tier through a
+// TinyLFU admission filter (admitSketch): when the cold tier is full, the
+// demoted page is compared against the minimum-frequency page of a small
+// random sample of cold residents and only displaces that victim when its
+// own estimated frequency is strictly higher, so a one-shot deep scan
+// streams through the hot tier without flushing the repeat-heavy working
+// set the cold tier protects. A cold hit promotes the page back to the hot
+// tier. Sampled (rather than oldest-resident) victim selection matters:
+// under a cyclic working set the coldest resident by recency is the very
+// page the stream is about to need again, while the sample finds the
+// one-shot squatters whose frequency never grew.
 //
 // Grades are immutable, so the cache needs no invalidation: a cached entry
 // is exactly what the backend would serve. Pages fill on first demand and
@@ -77,13 +132,33 @@ func (s CacheStats) HitRate() float64 {
 // entry would otherwise race to fetch it twice, breaking the
 // never-more-physical-accesses guarantee.
 type Cache struct {
-	mu    sync.Mutex
-	cfg   CacheConfig
+	mu       sync.Mutex
+	cfg      CacheConfig
+	hot      cacheTier
+	cold     coldTier
+	sketch   *admitSketch // nil when the cold tier is disabled
+	coldFrac float64
+	rngState uint64                    // deterministic victim-sampling stream
+	memo     map[memoKey]*list.Element // values: *memoEntry
+	mlru     *list.List                // front = most recently used memo entry
+	stats    CacheStats
+}
+
+// cacheTier is the hot tier: a bounded LRU segment of the page store.
+type cacheTier struct {
 	pages map[pageKey]*list.Element // values: *cachePage
 	lru   *list.List                // front = most recently used page
-	memo  map[memoKey]*list.Element // values: *memoEntry
-	mlru  *list.List                // front = most recently used memo entry
-	stats CacheStats
+	cap   int
+}
+
+// coldTier is the frequency-managed segment behind the hot tier. It keeps
+// no recency order — eviction picks the minimum-frequency page of a small
+// random sample — so residents live in a flat pool with an index map for
+// O(1) lookup, swap-removal and uniform sampling.
+type coldTier struct {
+	pages map[pageKey]int // page key → index into pool
+	pool  []*cachePage
+	cap   int
 }
 
 type pageKey struct {
@@ -111,13 +186,18 @@ type memoEntry struct {
 // NewCache returns an empty cache with the given bounds.
 func NewCache(cfg CacheConfig) *Cache {
 	cfg = cfg.withDefaults()
-	return &Cache{
-		cfg:   cfg,
-		pages: make(map[pageKey]*list.Element, cfg.Pages),
-		lru:   list.New(),
-		memo:  make(map[memoKey]*list.Element, cfg.Memo),
-		mlru:  list.New(),
+	c := &Cache{
+		cfg:      cfg,
+		hot:      cacheTier{pages: make(map[pageKey]*list.Element, cfg.Pages), lru: list.New(), cap: cfg.Pages},
+		cold:     coldTier{pages: make(map[pageKey]int, cfg.ColdPages), cap: cfg.ColdPages},
+		coldFrac: cfg.ColdHitCost,
+		memo:     make(map[memoKey]*list.Element, cfg.Memo),
+		mlru:     list.New(),
 	}
+	if cfg.ColdPages > 0 {
+		c.sketch = newAdmitSketch(cfg.Pages+cfg.ColdPages, cfg.PageSize)
+	}
+	return c
 }
 
 // Stats returns a snapshot of the cache accounting.
@@ -131,7 +211,8 @@ func (c *Cache) Stats() CacheStats {
 // listIdx keys the cache entries: wrap each of a shard's m lists with its
 // own index, sharing one Cache across them (and across every query on the
 // shard). The returned view implements CostedList, so Sources above it
-// charge misses the wrapped backend's declared cost and hits nothing.
+// charge misses the wrapped backend's declared cost, cold-tier hits the
+// ColdHitCost fraction of it, and hot hits nothing.
 func (c *Cache) Wrap(listIdx int, src ListSource) Backend {
 	return &cachedList{c: c, list: listIdx, src: src, costs: BackendCosts(src)}
 }
@@ -144,6 +225,134 @@ func WrapLists(c *Cache, lists []ListSource) []ListSource {
 		out[i] = c.Wrap(i, l)
 	}
 	return out
+}
+
+// touchLocked records one access to key in the admission sketch.
+func (c *Cache) touchLocked(key pageKey) {
+	if c.sketch != nil {
+		c.sketch.touch(pageHash(key))
+	}
+}
+
+// pageForLocked records the access in the admission sketch and resolves
+// key to its page, creating an empty page on a full miss. fromCold
+// reports that the page was found in the cold tier (it has been promoted
+// to hot by the time the call returns — the caller charges the cold-hit
+// fraction for the entry that found it there).
+func (c *Cache) pageForLocked(key pageKey) (pg *cachePage, fromCold bool) {
+	c.touchLocked(key)
+	if el, ok := c.hot.pages[key]; ok {
+		c.hot.lru.MoveToFront(el)
+		return el.Value.(*cachePage), false
+	}
+	if idx, ok := c.cold.pages[key]; ok {
+		pg = c.cold.pool[idx]
+		c.coldRemoveLocked(idx)
+		c.insertHotLocked(pg)
+		return pg, true
+	}
+	pg = &cachePage{
+		key:     key,
+		entries: make([]model.Entry, c.cfg.PageSize),
+		have:    make([]bool, c.cfg.PageSize),
+	}
+	c.insertHotLocked(pg)
+	return pg, false
+}
+
+// insertHotLocked puts pg at the front of the hot tier, demoting the hot
+// LRU victim when the tier overflows.
+func (c *Cache) insertHotLocked(pg *cachePage) {
+	c.hot.pages[pg.key] = c.hot.lru.PushFront(pg)
+	if len(c.hot.pages) > c.hot.cap {
+		last := c.hot.lru.Back()
+		victim := last.Value.(*cachePage)
+		c.hot.lru.Remove(last)
+		delete(c.hot.pages, victim.key)
+		c.stats.HotEvictions++
+		c.demoteLocked(victim)
+	}
+	c.checkTiersLocked(pg.key)
+}
+
+// admitSampleSize is how many cold residents the admission filter samples
+// when picking a displacement victim. Five uniform draws find a
+// below-working-set-frequency squatter with high probability whenever one
+// exists, at constant cost per demotion.
+const admitSampleSize = 5
+
+// demoteLocked offers a page evicted from the hot tier to the cold tier.
+// With the cold tier disabled the page is simply dropped. While the cold
+// tier has room the page is admitted unconditionally; once it is full the
+// TinyLFU sketch arbitrates: the newcomer is compared against the
+// minimum-frequency page among a small deterministic random sample of
+// cold residents and displaces that victim only when its own estimate is
+// strictly higher, otherwise the newcomer is dropped (an admission
+// reject). One-shot scan pages (doorkeeper-only estimate) therefore never
+// displace a repeat-read resident, while a demoted working-set page finds
+// and replaces the low-frequency squatters such scans leave behind.
+// Either losing page leaves the cache entirely and counts as an Eviction.
+func (c *Cache) demoteLocked(pg *cachePage) {
+	if c.cold.cap <= 0 {
+		c.stats.Evictions++
+		return
+	}
+	if len(c.cold.pool) >= c.cold.cap {
+		minIdx, minEst := -1, int(^uint(0)>>1)
+		for s := 0; s < admitSampleSize; s++ {
+			c.rngState++
+			idx := int(splitmix64(c.rngState) % uint64(len(c.cold.pool)))
+			if est := c.sketch.estimate(pageHash(c.cold.pool[idx].key)); est < minEst {
+				minIdx, minEst = idx, est
+			}
+		}
+		if c.sketch.estimate(pageHash(pg.key)) <= minEst {
+			c.stats.AdmissionRejects++
+			c.stats.Evictions++
+			return
+		}
+		c.coldRemoveLocked(minIdx)
+		c.stats.ColdEvictions++
+		c.stats.Evictions++
+	}
+	c.cold.pages[pg.key] = len(c.cold.pool)
+	c.cold.pool = append(c.cold.pool, pg)
+	c.checkTiersLocked(pg.key)
+}
+
+// coldRemoveLocked deletes the cold resident at pool index idx by
+// swapping the last resident into its slot.
+func (c *Cache) coldRemoveLocked(idx int) {
+	pool := c.cold.pool
+	delete(c.cold.pages, pool[idx].key)
+	last := len(pool) - 1
+	if idx != last {
+		pool[idx] = pool[last]
+		c.cold.pages[pool[idx].key] = idx
+	}
+	pool[last] = nil
+	c.cold.pool = pool[:last]
+}
+
+// checkTiersLocked asserts the tier invariants for the just-moved key:
+// occupancies within capacity and the key resident in at most one tier.
+// Compiled to a no-op without the invariants build tag.
+func (c *Cache) checkTiersLocked(key pageKey) {
+	if !invariantsEnabled {
+		return
+	}
+	assertInvariant(len(c.hot.pages) <= c.hot.cap, "hot tier over capacity: %d > %d", len(c.hot.pages), c.hot.cap)
+	assertInvariant(len(c.cold.pool) <= c.cold.cap || c.cold.cap <= 0, "cold tier over capacity: %d > %d", len(c.cold.pool), c.cold.cap)
+	_, inHot := c.hot.pages[key]
+	_, inCold := c.cold.pages[key]
+	assertInvariant(!(inHot && inCold), "page %v resident in both tiers", key)
+	assertInvariant(len(c.hot.pages) == c.hot.lru.Len(), "hot tier map/lru out of sync: %d != %d", len(c.hot.pages), c.hot.lru.Len())
+	assertInvariant(len(c.cold.pages) == len(c.cold.pool), "cold tier map/pool out of sync: %d != %d", len(c.cold.pages), len(c.cold.pool))
+	if inCold {
+		idx := c.cold.pages[key]
+		assertInvariant(idx >= 0 && idx < len(c.cold.pool) && c.cold.pool[idx].key == key,
+			"cold tier index map broken for page %v", key)
+	}
 }
 
 // cachedList is the per-list view over a shared Cache.
@@ -166,7 +375,24 @@ func (l *cachedList) At(pos int) model.Entry {
 	return e
 }
 
-// AtCost implements CostedList: a hit costs 0, a miss fetches exactly one
+// hitCostLocked charges one filled-slot access: a hot hit costs 0, a
+// cold hit the ColdHitCost fraction of the declared cost. fromCold is
+// true only for the access that found the page in the cold tier; the
+// promotion it triggered makes every later access to the page a hot hit.
+func (l *cachedList) hitCostLocked(fromCold bool) float64 {
+	c := l.c
+	if fromCold {
+		c.stats.ColdHits++
+		c.stats.ChargedSaved += (1 - c.coldFrac) * l.costs.CS
+		return c.coldFrac * l.costs.CS
+	}
+	c.stats.Hits++
+	c.stats.ChargedSaved += l.costs.CS
+	return 0
+}
+
+// AtCost implements CostedList: a hot hit costs 0, a cold hit costs
+// ColdHitCost × CS (and promotes the page), a miss fetches exactly one
 // entry from the backend, caches it in its (list, page) slot and costs CS.
 func (l *cachedList) AtCost(pos int) (model.Entry, float64) {
 	c := l.c
@@ -174,23 +400,9 @@ func (l *cachedList) AtCost(pos int) (model.Entry, float64) {
 	defer c.mu.Unlock()
 	key := pageKey{list: l.list, page: pos / c.cfg.PageSize}
 	off := pos % c.cfg.PageSize
-	el, ok := c.pages[key]
-	if ok {
-		c.lru.MoveToFront(el)
-	} else {
-		el = c.lru.PushFront(&cachePage{
-			key:     key,
-			entries: make([]model.Entry, c.cfg.PageSize),
-			have:    make([]bool, c.cfg.PageSize),
-		})
-		c.pages[key] = el
-		c.evictPagesLocked()
-	}
-	pg := el.Value.(*cachePage)
+	pg, fromCold := c.pageForLocked(key)
 	if pg.have[off] {
-		c.stats.Hits++
-		c.stats.ChargedSaved += l.costs.CS
-		return pg.entries[off], 0
+		return pg.entries[off], l.hitCostLocked(fromCold)
 	}
 	//lint:lockheld single-flight: concurrent readers of a missing entry must not fetch it twice
 	e := l.src.At(pos)
@@ -202,12 +414,13 @@ func (l *cachedList) AtCost(pos int) (model.Entry, float64) {
 
 // AtCostN implements CostedBatchList: one lock acquisition per batch
 // instead of per entry. Within each page the request touches, hits are
-// copied out free and contiguous miss runs are filled with a single
-// backend batch read directly into the page's slots — whole stretches of
-// the page populate per miss, not entry-by-entry. The fill never extends
-// past the requested range, so the cached run's physical accesses still
-// never exceed an uncached run's, and the per-entry hit/miss charging,
-// stats and LRU state are exactly what len(dst) AtCost calls would leave.
+// copied out (hot free, the cold-finding entry at the cold fraction) and
+// contiguous miss runs are filled with a single backend batch read
+// directly into the page's slots — whole stretches of the page populate
+// per miss, not entry-by-entry. The fill never extends past the requested
+// range, so the cached run's physical accesses still never exceed an
+// uncached run's, and the per-entry hit/miss charging, stats, sketch and
+// LRU state are exactly what len(dst) AtCost calls would leave.
 func (l *cachedList) AtCostN(pos int, dst []model.Entry, costs []float64) int {
 	n := l.src.Len() - pos
 	if n <= 0 {
@@ -226,30 +439,23 @@ func (l *cachedList) AtCostN(pos int, dst []model.Entry, costs []float64) int {
 		if span > n-i {
 			span = n - i
 		}
-		el, ok := c.pages[key]
-		if ok {
-			c.lru.MoveToFront(el)
-		} else {
-			el = c.lru.PushFront(&cachePage{
-				key:     key,
-				entries: make([]model.Entry, c.cfg.PageSize),
-				have:    make([]bool, c.cfg.PageSize),
-			})
-			c.pages[key] = el
-			c.evictPagesLocked()
-		}
-		pg := el.Value.(*cachePage)
+		pg, fromCold := c.pageForLocked(key)
 		for j := 0; j < span; {
+			if j > 0 {
+				// Per-entry single-step calls would touch the sketch once
+				// per entry; keep the batched frequency signal identical.
+				c.touchLocked(key)
+			}
 			if pg.have[off+j] {
 				dst[i+j] = pg.entries[off+j]
-				costs[i+j] = 0
-				c.stats.Hits++
-				c.stats.ChargedSaved += l.costs.CS
+				costs[i+j] = l.hitCostLocked(j == 0 && fromCold)
 				j++
 				continue
 			}
 			run := 1
 			for j+run < span && !pg.have[off+j+run] {
+				// The touches the skipped single-step calls would record.
+				c.touchLocked(key)
 				run++
 			}
 			//lint:lockheld single-flight: the miss run fills page slots other readers are waiting on
@@ -323,30 +529,18 @@ func (l *cachedList) AtNErr(pos int, dst []model.Entry) (int, error) {
 
 // AtCostErr implements FallibleCostedList. A failed backend fetch leaves
 // the page slot unfilled and the hit/miss accounting untouched — the next
-// read retries the fetch, and a fault can never poison a page.
+// read retries the fetch, and a fault can never poison a page or the tier
+// bookkeeping (the page's tier placement stands; only the slot stays
+// empty).
 func (l *cachedList) AtCostErr(pos int) (model.Entry, float64, error) {
 	c := l.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := pageKey{list: l.list, page: pos / c.cfg.PageSize}
 	off := pos % c.cfg.PageSize
-	el, ok := c.pages[key]
-	if ok {
-		c.lru.MoveToFront(el)
-	} else {
-		el = c.lru.PushFront(&cachePage{
-			key:     key,
-			entries: make([]model.Entry, c.cfg.PageSize),
-			have:    make([]bool, c.cfg.PageSize),
-		})
-		c.pages[key] = el
-		c.evictPagesLocked()
-	}
-	pg := el.Value.(*cachePage)
+	pg, fromCold := c.pageForLocked(key)
 	if pg.have[off] {
-		c.stats.Hits++
-		c.stats.ChargedSaved += l.costs.CS
-		return pg.entries[off], 0, nil
+		return pg.entries[off], l.hitCostLocked(fromCold), nil
 	}
 	//lint:lockheld single-flight: concurrent readers of a missing entry must not fetch it twice
 	e, err := atErr(l.src, pos)
@@ -381,25 +575,14 @@ func (l *cachedList) AtCostNErr(pos int, dst []model.Entry, costs []float64) (in
 		if span > n-i {
 			span = n - i
 		}
-		el, ok := c.pages[key]
-		if ok {
-			c.lru.MoveToFront(el)
-		} else {
-			el = c.lru.PushFront(&cachePage{
-				key:     key,
-				entries: make([]model.Entry, c.cfg.PageSize),
-				have:    make([]bool, c.cfg.PageSize),
-			})
-			c.pages[key] = el
-			c.evictPagesLocked()
-		}
-		pg := el.Value.(*cachePage)
+		pg, fromCold := c.pageForLocked(key)
 		for j := 0; j < span; {
+			if j > 0 {
+				c.touchLocked(key)
+			}
 			if pg.have[off+j] {
 				dst[i+j] = pg.entries[off+j]
-				costs[i+j] = 0
-				c.stats.Hits++
-				c.stats.ChargedSaved += l.costs.CS
+				costs[i+j] = l.hitCostLocked(j == 0 && fromCold)
 				j++
 				continue
 			}
@@ -409,6 +592,17 @@ func (l *cachedList) AtCostNErr(pos int, dst []model.Entry, costs []float64) (in
 			}
 			//lint:lockheld single-flight: the miss run fills page slots other readers are waiting on
 			got, err := fetchIntoErr(l.src, pos+i+j, pg.entries[off+j:off+j+run])
+			// Mirror the sketch touches the skipped single-step calls would
+			// record: one per attempted entry beyond the run's first (a
+			// failed attempt touches before it fails, entries past it are
+			// never reached).
+			ext := run - 1
+			if err != nil && got < run {
+				ext = got
+			}
+			for t := 0; t < ext; t++ {
+				c.touchLocked(key)
+			}
 			for t := 0; t < got; t++ {
 				pg.have[off+j+t] = true
 				dst[i+j+t] = pg.entries[off+j+t]
@@ -453,14 +647,4 @@ func (l *cachedList) GradeOfCostErr(obj model.ObjectID) (model.Grade, bool, floa
 	}
 	c.stats.ProbeMisses++
 	return g, ok, l.costs.CR, nil
-}
-
-// evictPagesLocked enforces the page LRU bound.
-func (c *Cache) evictPagesLocked() {
-	for len(c.pages) > c.cfg.Pages {
-		last := c.lru.Back()
-		c.lru.Remove(last)
-		delete(c.pages, last.Value.(*cachePage).key)
-		c.stats.Evictions++
-	}
 }

@@ -79,9 +79,15 @@ func TestCacheServesIdenticalEntries(t *testing.T) {
 func TestCacheNeverExceedsUncachedPhysical(t *testing.T) {
 	db := testDB(t)
 	for _, cfg := range []CacheConfig{
-		{PageSize: 1, Pages: 1, Memo: 1}, // pathological: constant eviction
+		{PageSize: 1, Pages: 1, Memo: 1}, // pathological: constant churn
 		{PageSize: 2, Pages: 2, Memo: 2},
 		{PageSize: 64, Pages: 256, Memo: 4096},
+		// Cross-tier shapes: tight hot over tight cold (admission under
+		// pressure), cold hits priced at half, and the flat single-LRU
+		// cache with the cold tier disabled.
+		{PageSize: 1, Pages: 1, ColdPages: 2, ColdHitCost: 0.5, Memo: 1},
+		{PageSize: 2, Pages: 1, ColdPages: 1, Memo: 2},
+		{PageSize: 1, Pages: 1, ColdPages: -1, Memo: 1}, // flat, one page
 	} {
 		cache, lists, subs := cachedStack(db, cfg, UnitCosts)
 		uncachedPhysical := 0

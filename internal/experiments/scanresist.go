@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/workload"
+)
+
+// E25 — beyond the paper: scan resistance of the tiered page cache. A flat
+// LRU treats every touched page as equally worth keeping, so one deep scan
+// that exceeds capacity flushes the repeat-heavy working set and the next
+// round of queries re-pays the backend for pages it had already bought.
+// The two-tier cache demotes hot-tier evictees through a TinyLFU admission
+// filter into a cold tier whose hits cost a fraction of the declared
+// access cost: one-shot scan pages never accumulate frequency, so they
+// stream through the hot tier without displacing the working set. The
+// experiment replays two deterministic access streams — scan-heavy
+// (repeated working-set passes interrupted by scans of twice the cache
+// budget) and Zipf-like (power-law positions) — against a flat LRU and a
+// tiered cache splitting the same 256-page budget, and compares hit rates
+// and charged cost.
+func init() {
+	register("E25", "Extension: scan resistance — tiered TinyLFU-admitted cache vs flat LRU on the same page budget", func() (*Table, error) {
+		tab := &Table{
+			ID:    "E25",
+			Title: "Flat LRU vs tiered cache (64 hot + 192 cold pages of 16, cold hits at 0.1×) under scan-heavy and Zipf-like streams (cS=1)",
+			Paper: "Beyond the paper: FLN charge every access its declared cost; a caching middleware pays only on misses, but a flat LRU loses that saving to every deep scan that exceeds capacity. Frequency-based admission (TinyLFU) in front of a sampled-LFU cold tier keeps the repeat-heavy pages resident, so the scan costs its own pages and nothing more.",
+			Columns: []string{
+				"stream", "lru hit rate", "tiered hit rate", "hot/cold split", "admission rejects", "charged lru", "charged tiered", "saving",
+			},
+		}
+		db, err := workload.IndependentUniform(workload.Spec{N: 100000, M: 3, Seed: 29})
+		if err != nil {
+			return nil, err
+		}
+		run := func(cfg access.CacheConfig, stream func(read func(pos int))) (access.CacheStats, float64, error) {
+			c := access.NewCache(cfg)
+			l, ok := c.Wrap(0, access.NewRemote(db.List(0), access.CostModel{CS: 1, CR: 8}, access.Latency{})).(access.CostedList)
+			if !ok {
+				return access.CacheStats{}, 0, fmt.Errorf("cache wrapper lost the CostedList interface")
+			}
+			charged := 0.0
+			stream(func(pos int) {
+				_, cost := l.AtCost(pos)
+				charged += cost
+			})
+			return c.Stats(), charged, nil
+		}
+		// Scan-heavy: three rounds of eight sequential passes over a
+		// 2048-entry working set, each followed by an 8192-entry scan (512
+		// pages — twice the 256-page budget both shapes are given).
+		scanStream := func(read func(int)) {
+			for round := 0; round < 3; round++ {
+				for rep := 0; rep < 8; rep++ {
+					for pos := 0; pos < 2048; pos++ {
+						read(pos)
+					}
+				}
+				for pos := 0; pos < 8192; pos++ {
+					read(pos)
+				}
+			}
+		}
+		// Zipf-like: 50k deterministic power-law positions (u⁶-skewed), so
+		// roughly half the stream lands inside the 128-page tiered budget.
+		zipfStream := func(read func(int)) {
+			state := uint64(42)
+			for i := 0; i < 50000; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				u := float64(state>>11) / float64(1<<53)
+				pos := int(float64(db.N()) * u * u * u * u * u * u)
+				if pos >= db.N() {
+					pos = db.N() - 1
+				}
+				read(pos)
+			}
+		}
+		flat := access.CacheConfig{PageSize: 16, Pages: 256, ColdPages: -1}
+		tiered := access.CacheConfig{PageSize: 16, Pages: 64, ColdPages: 192}
+		for _, stream := range []struct {
+			name string
+			run  func(func(int))
+		}{
+			{"scan-heavy", scanStream},
+			{"zipf", zipfStream},
+		} {
+			lruStats, lruCharged, err := run(flat, stream.run)
+			if err != nil {
+				return nil, err
+			}
+			tierStats, tierCharged, err := run(tiered, stream.run)
+			if err != nil {
+				return nil, err
+			}
+			total := float64(tierStats.Hits + tierStats.ColdHits + tierStats.Misses)
+			split := fmt.Sprintf("%.3f/%.3f", float64(tierStats.Hits)/total, float64(tierStats.ColdHits)/total)
+			tab.AddRow(stream.name, lruStats.HitRate(), tierStats.HitRate(), split,
+				tierStats.AdmissionRejects, lruCharged, tierCharged, lruCharged/tierCharged)
+		}
+		tab.Note("measured: on the scan-heavy stream the flat LRU re-misses its whole working set after every scan while the admission filter keeps it cold-resident, lifting the hit rate and cutting charged cost on a quarter of the flat cache's hot-tier budget; on the pure Zipf stream (nothing to resist) the two shapes run near parity — admission friction and fractional cold-hit pricing cost a few percent, the premium paid for scan immunity. Entries served are identical by construction — only what they cost differs.")
+		return tab, nil
+	})
+}

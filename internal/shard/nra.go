@@ -623,6 +623,9 @@ func (e *Engine) queryNRA(ctx context.Context, t agg.Func, k int, opts Options) 
 		}
 		if per != nil {
 			per[s] = ShardStat{Stats: st, Elapsed: elapsed[s], Resumes: resumes[s], Dead: deg.dead[s]}
+			if e.caches[s] != nil {
+				per[s].Cache = e.caches[s].Stats()
+			}
 		}
 		e.recycle(s, srcs[s])
 	}

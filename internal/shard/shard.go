@@ -109,6 +109,11 @@ type ShardStat struct {
 	// its backend failed past the retry budget — and the answer was degraded
 	// to a θ-approximation without the shard's full evidence.
 	Dead bool
+	// Cache is the shard's cache accounting as of the end of this query
+	// (per-tier hits, admission rejections, per-tier evictions). Caches
+	// persist across queries, so the snapshot is engine-lifetime
+	// cumulative, not per-query; zero when the shard has no cache.
+	Cache access.CacheStats
 }
 
 // Options configures one sharded query.
@@ -646,6 +651,9 @@ func (e *Engine) QueryContext(ctx context.Context, t agg.Func, k int, opts Optio
 		per := make([]ShardStat, p)
 		for s := range per {
 			per[s] = ShardStat{Stats: shardStats[s], Elapsed: elapsed[s], Dead: deg.dead[s]}
+			if e.caches[s] != nil {
+				per[s].Cache = e.caches[s].Stats()
+			}
 		}
 		opts.OnShardStats(per)
 	}

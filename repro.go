@@ -337,16 +337,37 @@ type BackendSpec struct {
 	// on the sequential path.
 	StragglerShards int
 	StragglerFactor float64
+	// BatchRTT switches batched sorted reads to the batch round-trip
+	// latency model: one full latency draw per batch plus a per-entry
+	// marginal of BatchMarginal × Latency (default 0.1) for every entry
+	// after the first, instead of a full independent draw per entry.
+	// Single-entry accesses are unchanged. See access.Latency.BatchRTT.
+	BatchRTT      bool
+	BatchMarginal float64
 }
 
 // CacheSpec configures the per-shard page cache; see Options.Cache. Zero
-// fields take access.CacheConfig's defaults (64-entry pages, 256 pages,
-// 4096 memoized grades).
+// fields take access.CacheConfig's defaults (64-entry pages, 256 hot
+// pages, a cold tier of 4× the hot pages charging 0.1 of the declared
+// cost per hit, 4096 memoized grades).
 type CacheSpec struct {
 	PageSize int
-	Pages    int
-	Memo     int
+	// Pages bounds the hot tier (hits free). ColdPages bounds the
+	// TinyLFU-admission-controlled cold tier behind it: zero means 4×
+	// Pages, negative disables the cold tier (flat single-LRU cache).
+	// ColdHitCost is the fraction of the backend's declared cost a
+	// cold-tier hit charges (zero means 0.1, negative means free).
+	Pages       int
+	ColdPages   int
+	ColdHitCost float64
+	Memo        int
 }
+
+// CacheStats is a cache's accounting snapshot — per-tier hits, misses,
+// evictions and admission decisions; see access.CacheStats. Sharded
+// engines report one per shard through Sharded.CacheStats and
+// ShardOptions.OnShardStats.
+type CacheStats = access.CacheStats
 
 // Schedule selects the sharded no-random-access scheduling policy; see
 // Options.Schedule.
@@ -557,9 +578,11 @@ func newShardedStack(db *Database, p int, backend *BackendSpec, fault *FaultSpec
 			}
 			if cache != nil {
 				c := access.NewCache(access.CacheConfig{
-					PageSize: cache.PageSize,
-					Pages:    cache.Pages,
-					Memo:     cache.Memo,
+					PageSize:    cache.PageSize,
+					Pages:       cache.Pages,
+					ColdPages:   cache.ColdPages,
+					ColdHitCost: cache.ColdHitCost,
+					Memo:        cache.Memo,
 				})
 				lists = access.WrapLists(c, lists)
 				sb.Cache = c
@@ -592,6 +615,9 @@ func (b *BackendSpec) validate() error {
 	if b.StragglerShards < 0 || b.StragglerFactor < 0 {
 		return fmt.Errorf("%w: straggler configuration must be non-negative, got shards=%d factor=%g", ErrBadQuery, b.StragglerShards, b.StragglerFactor)
 	}
+	if b.BatchMarginal < 0 || b.BatchMarginal > 1 {
+		return fmt.Errorf("%w: backend batch marginal must be in [0, 1], got %g", ErrBadQuery, b.BatchMarginal)
+	}
 	return nil
 }
 
@@ -604,10 +630,12 @@ func (b *BackendSpec) forShard(s, p int, base CostModel) (access.CostModel, acce
 		cm = base
 	}
 	lat := access.Latency{
-		Sorted: b.Latency,
-		Random: b.Latency,
-		Jitter: b.Jitter,
-		Seed:   b.Seed + uint64(s)*0x9e37, // decorrelate per-shard jitter
+		Sorted:        b.Latency,
+		Random:        b.Latency,
+		Jitter:        b.Jitter,
+		Seed:          b.Seed + uint64(s)*0x9e37, // decorrelate per-shard jitter
+		BatchRTT:      b.BatchRTT,
+		BatchMarginal: b.BatchMarginal,
 	}
 	if b.StragglerShards > 0 && s >= p-b.StragglerShards {
 		f := b.StragglerFactor
@@ -675,9 +703,11 @@ func prepare(db *Database, opts Options) (core.Algorithm, *access.Source, error)
 	}
 	if opts.Cache != nil {
 		c := access.NewCache(access.CacheConfig{
-			PageSize: opts.Cache.PageSize,
-			Pages:    opts.Cache.Pages,
-			Memo:     opts.Cache.Memo,
+			PageSize:    opts.Cache.PageSize,
+			Pages:       opts.Cache.Pages,
+			ColdPages:   opts.Cache.ColdPages,
+			ColdHitCost: opts.Cache.ColdHitCost,
+			Memo:        opts.Cache.Memo,
 		})
 		lists = access.WrapLists(c, lists)
 	}

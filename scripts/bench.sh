@@ -13,9 +13,10 @@
 # BenchmarkRemoteShards, BenchmarkCostAwareTA, BenchmarkAdaptiveSchedule)
 # is missing from the output, so the perf trajectory always tracks both
 # sharded modes, the shared-scan batch executor, the remote-backend stack
-# (scheduler cancellation savings and cache hit rate), and the
-# cost-adaptive planners (cost-aware TA's charged saving over plain TA and
-# the EWMA schedule's saving on lying backends).
+# (scheduler cancellation savings, cache hit rate, the tiered cache's
+# scan-resistance win over a flat LRU, and the batched-remote latency
+# saving), and the cost-adaptive planners (cost-aware TA's charged saving
+# over plain TA and the EWMA schedule's saving on lying backends).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -74,6 +75,29 @@ if [ "$pattern" = "." ]; then
     END {
         if (v == "") { print "bench.sh: BenchmarkFallibleOverhead reported no fallible-overhead" > "/dev/stderr"; exit 1 }
         if (v + 0 > 1.05) { printf "bench.sh: fallible-overhead %s exceeds the 1.05 ceiling\n", v > "/dev/stderr"; exit 1 }
+    }
+    ' BENCH_topk.txt
+
+    # Tiered-cache floors (deterministic, untimed metrics): on the
+    # scan-heavy stream the TinyLFU-admitted tiered cache must beat the
+    # flat LRU of the same page budget on hit rate and save at least 1.1×
+    # charged cost, and the batched round-trip remote must save at least
+    # 2.0× simulated latency over per-entry draws. Dropping below a floor
+    # means the admission filter or the batch latency model regressed.
+    awk '
+    $1 ~ /^BenchmarkRemoteShards/ {
+        for (i = 3; i + 1 <= NF; i += 2) {
+            if ($(i + 1) == "lru-hit-rate") lru = $i
+            if ($(i + 1) == "tiered-hit-rate") tier = $i
+            if ($(i + 1) == "tiered-savings") sav = $i
+            if ($(i + 1) == "batched-remote-savings") brs = $i
+        }
+    }
+    END {
+        if (lru == "" || tier == "" || sav == "" || brs == "") { print "bench.sh: BenchmarkRemoteShards reported no tiered-cache metrics" > "/dev/stderr"; exit 1 }
+        if (tier + 0 <= lru + 0) { printf "bench.sh: tiered-hit-rate %s did not beat lru-hit-rate %s\n", tier, lru > "/dev/stderr"; exit 1 }
+        if (sav + 0 < 1.1) { printf "bench.sh: tiered-savings %s is below the 1.1 floor\n", sav > "/dev/stderr"; exit 1 }
+        if (brs + 0 < 2.0) { printf "bench.sh: batched-remote-savings %s is below the 2.0 floor\n", brs > "/dev/stderr"; exit 1 }
     }
     ' BENCH_topk.txt
 fi
@@ -166,6 +190,26 @@ $1 ~ /^BenchmarkShardedTA\/P/ {
 END {
     printf "{\"summary\":\"columnar\""
     printf ",\"seed:P1:B/op\":5377986,\"seed:P2:B/op\":6144215,\"seed:P4:B/op\":6352352,\"seed:P8:B/op\":6719051"
+    for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
+    print "}"
+}
+' BENCH_topk.txt >> BENCH_topk.json
+
+# Append the tiered-cache summary: the scan-resistance comparison (flat
+# LRU vs TinyLFU-admitted tiers on the same page budget), the Zipf-stream
+# tier profile, and the batched-remote latency saving.
+awk '
+/^Benchmark/ {
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "lru-hit-rate" || unit == "tiered-hit-rate" || unit == "tiered-hot-hit-rate" || unit == "tiered-cold-hit-rate" || unit == "tiered-savings" || unit == "batched-remote-savings" || unit == "zipf-hit-rate" || unit == "zipf-cold-hit-rate" || unit == "zipf-charged") {
+            keys[++nk] = $1 ":" unit
+            vals[nk] = $i
+        }
+    }
+}
+END {
+    printf "{\"summary\":\"tiered-cache\""
     for (i = 1; i <= nk; i++) printf ",\"%s\":%s", keys[i], vals[i]
     print "}"
 }
