@@ -1,5 +1,5 @@
 // Command experiments regenerates every reproduction experiment table
-// (E01–E25, cataloged in docs/EXPERIMENTS.md). With no arguments it runs
+// (E01–E26, cataloged in docs/EXPERIMENTS.md). With no arguments it runs
 // everything; with experiment IDs as arguments it runs just those.
 //
 // Usage:

@@ -75,8 +75,25 @@ func main() {
 		retryMax   = flag.Int("retry-budget", 0, "max attempts per access for transient backend failures (0 = default policy: 4 attempts, 256 retries/query)")
 		hedge      = flag.Bool("hedge", false, "hedge straggling shard resumes (sharded NRA with -schedule cost-aware or adaptive)")
 		minTheta   = flag.Float64("min-theta", 0, "weakest accepted θ guarantee when shards are lost (0 = accept any finite θ; requires -shards)")
+
+		traceOut       = flag.String("trace-out", "", "write a traffic trace to this file: generated from the traffic flags, or re-recorded from -trace-in for a round-trip diff")
+		traceIn        = flag.String("trace-in", "", "replay the traffic trace in this file against -data and report open-loop latency percentiles and charged cost")
+		trafficConfig  = flag.String("traffic-config", "", "JSON traffic config for -trace-out (default: built-in users+crawlers mix)")
+		trafficSeed    = flag.Uint64("traffic-seed", 42, "seed for trace generation")
+		trafficReqs    = flag.Int("traffic-requests", 1000, "number of requests to generate")
+		trafficArrival = flag.String("traffic-arrival", "poisson", "arrival process for the generated users cohort: poisson|diurnal|burst")
+		trafficRate    = flag.Float64("traffic-rate", 200, "mean arrival rate in requests/second for the generated mix")
+		traceWorkers   = flag.Int("trace-workers", 0, "simulated (and real) server count for open-loop replay (0 = 1)")
+		traceBatch     = flag.Int("trace-batch", 0, "shared-scan admission batch size for unsharded replay (0 = 8)")
 	)
 	flag.Parse()
+	if *traceOut != "" && *traceIn == "" {
+		// Trace generation needs no database.
+		if err := generateTrace(*traceOut, *trafficConfig, *trafficArrival, *trafficSeed, *trafficRate, *trafficReqs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "topk: -data is required")
 		flag.Usage()
@@ -133,6 +150,23 @@ func main() {
 	p := *shards
 	if p == repro.AutoShards {
 		p = shard.AutoShards(db.N(), *k, runtime.GOMAXPROCS(0))
+	}
+	if *traceIn != "" {
+		err := replayTraceFile(db, *traceIn, *traceOut, repro.ReplayOptions{
+			Shards:   p,
+			Workers:  *traceWorkers,
+			Batch:    *traceBatch,
+			Backend:  backendSpec,
+			Cache:    cacheSpec,
+			Fault:    faultSpec,
+			Costs:    repro.CostModel{CS: *cs, CR: *cr},
+			Retry:    retry,
+			MinTheta: *minTheta,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 	opts := repro.Options{
 		Algorithm:      repro.AlgorithmName(normalizeAlgo(*algo)),
@@ -286,25 +320,14 @@ func normalizeAlgo(s string) string {
 // readDB parses the CSV database format.
 func readDB(r io.Reader) (*repro.Database, error) { return model.ReadCSV(r) }
 
-// aggByName resolves an aggregation function by name and arity.
+// aggByName resolves an aggregation function by name and arity through the
+// shared registry, branding failures with the CLI's error identity.
 func aggByName(name string, m int) (repro.AggFunc, error) {
-	switch strings.ToLower(name) {
-	case "min":
-		return agg.Min(m), nil
-	case "max":
-		return agg.Max(m), nil
-	case "sum":
-		return agg.Sum(m), nil
-	case "avg", "average":
-		return agg.Avg(m), nil
-	case "product":
-		return agg.Product(m), nil
-	case "median":
-		return agg.Median(m), nil
-	case "geomean":
-		return agg.GeometricMean(m), nil
+	f, err := agg.ByName(name, m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", repro.ErrBadQuery, err)
 	}
-	return nil, fmt.Errorf("%w: unknown aggregation %q", repro.ErrBadQuery, name)
+	return f, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/traffic"
+)
+
+// generateTrace builds a traffic config (from a JSON file or the built-in
+// two-cohort mix), generates its request stream, and records it to path.
+func generateTrace(path, cfgPath, arrival string, seed uint64, rate float64, n int) error {
+	cfg, err := trafficConfigFor(cfgPath, arrival, seed, rate, n)
+	if err != nil {
+		return err
+	}
+	reqs, err := traffic.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traffic.Record(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	span := time.Duration(0)
+	if len(reqs) > 0 {
+		span = reqs[len(reqs)-1].At
+	}
+	fmt.Printf("wrote %d-request trace to %s (%d cohorts, %v span, seed %d)\n",
+		len(reqs), path, len(cfg.Cohorts), span.Round(time.Millisecond), cfg.Seed)
+	return nil
+}
+
+// trafficConfigFor loads a traffic.Config from a JSON file, or builds the
+// default mix: a "users" cohort (repeat-heavy Zipf population on the chosen
+// arrival process) plus a "crawlers" cohort (one-shot specs trickling in at
+// a quarter of the rate).
+func trafficConfigFor(cfgPath, arrival string, seed uint64, rate float64, n int) (traffic.Config, error) {
+	if cfgPath != "" {
+		data, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return traffic.Config{}, err
+		}
+		var cfg traffic.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return traffic.Config{}, fmt.Errorf("%w: traffic config %s: %v", repro.ErrBadQuery, cfgPath, err)
+		}
+		return cfg, cfg.Validate()
+	}
+	var arr traffic.ArrivalSpec
+	switch arrival {
+	case "poisson":
+		arr = traffic.ArrivalSpec{Kind: traffic.ArrivalPoisson, Rate: rate}
+	case "diurnal":
+		// A compressed day: a quiet phase, a peak at twice the mean, and a
+		// shoulder back at the mean.
+		arr = traffic.ArrivalSpec{Kind: traffic.ArrivalDiurnal, Phases: []traffic.Phase{
+			{Span: 200 * time.Millisecond, Rate: rate / 4},
+			{Span: 100 * time.Millisecond, Rate: 2 * rate},
+			{Span: 200 * time.Millisecond, Rate: rate},
+		}}
+	case "burst":
+		// On/off with a 4x in-burst rate and a 25% duty cycle, preserving
+		// the mean.
+		arr = traffic.ArrivalSpec{Kind: traffic.ArrivalBurst, Rate: 4 * rate,
+			OnSpan: 50 * time.Millisecond, OffSpan: 150 * time.Millisecond}
+	default:
+		return traffic.Config{}, fmt.Errorf("%w: unknown -traffic-arrival %q (poisson|diurnal|burst)", repro.ErrBadQuery, arrival)
+	}
+	return traffic.Config{
+		Seed:        seed,
+		MaxRequests: n,
+		Cohorts: []traffic.Cohort{
+			{Name: "users", Arrival: arr, Population: traffic.Population{Kind: traffic.PopZipfRepeat}},
+			{Name: "crawlers",
+				Arrival:    traffic.ArrivalSpec{Kind: traffic.ArrivalPoisson, Rate: rate / 4},
+				Population: traffic.Population{Kind: traffic.PopCrawler}},
+		},
+	}, nil
+}
+
+// replayTraceFile replays the trace at `in` against db and prints the
+// open-loop report. When `out` is non-empty the replayed stream is
+// re-recorded there, so `diff in out` checks the round-trip externally.
+func replayTraceFile(db *repro.Database, in, out string, opts repro.ReplayOptions) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	reqs, err := traffic.Replay(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep, err := repro.ReplayTrace(db, reqs, opts)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, traffic.RecordBytes(reqs), 0o644); err != nil {
+			return err
+		}
+	}
+	engine := fmt.Sprintf("shared-scan batches of %d", replayBatchSize(opts))
+	if opts.Shards > 0 {
+		engine = fmt.Sprintf("sharded stack, P=%d", opts.Shards)
+	}
+	fmt.Printf("replayed %d requests from %s against N=%d, m=%d (%s)\n",
+		len(reqs), in, db.N(), db.M(), engine)
+	fmt.Printf("errors: %d/%d\n", rep.Errors, len(reqs))
+	printQuantiles("queue", rep.Queue)
+	printQuantiles("service", rep.Service)
+	fmt.Printf("charged cost: %.6g total", rep.Charged)
+	if n := len(reqs) - rep.Errors; n > 0 {
+		fmt.Printf(" (%.6g per request)", rep.Charged/float64(n))
+	}
+	fmt.Println()
+	return nil
+}
+
+func replayBatchSize(opts repro.ReplayOptions) int {
+	if opts.Batch > 0 {
+		return opts.Batch
+	}
+	return 8
+}
+
+func printQuantiles(name string, q repro.LatencyQuantiles) {
+	fmt.Printf("%-8s p50 %-10v p90 %-10v p99 %-10v max %v\n", name+":",
+		q.P50.Round(time.Microsecond), q.P90.Round(time.Microsecond),
+		q.P99.Round(time.Microsecond), q.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,49 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// byName maps the canonical lower-case name of every aggregation that is
+// constructible from an arity alone. Parameterized aggregations
+// (WeightedSum) and the theorem-specific fixtures (MinPlus, MinOfFirstTwo)
+// are deliberately absent: a name in a serialized query spec must resolve
+// without extra arguments.
+var byName = map[string]func(m int) Func{
+	"min":     Min,
+	"max":     Max,
+	"sum":     Sum,
+	"avg":     Avg,
+	"product": Product,
+	"median":  Median,
+	"geomean": GeometricMean,
+}
+
+// ByName resolves an aggregation by its canonical lower-case name ("min",
+// "max", "sum", "avg", "product", "median", "geomean") at arity m. The
+// lookup is case-insensitive and "average" aliases "avg", mirroring the
+// CLI's historical spelling. Unknown names return an error listing the
+// known ones; callers on a validation path wrap it in their own sentinel.
+func ByName(name string, m int) (Func, error) {
+	key := strings.ToLower(name)
+	if key == "average" {
+		key = "avg"
+	}
+	ctor, ok := byName[key]
+	if !ok {
+		return nil, fmt.Errorf("unknown aggregation %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return ctor(m), nil
+}
+
+// Names returns the canonical names ByName resolves, sorted.
+func Names() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package agg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		f, err := ByName(name, 3)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name() != name {
+			t.Errorf("ByName(%q) resolved to %q", name, f.Name())
+		}
+		if f.Arity() != 3 {
+			t.Errorf("ByName(%q) arity %d, want 3", name, f.Arity())
+		}
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for _, name := range []string{"AVG", "Average", "average"} {
+		f, err := ByName(name, 2)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name() != "avg" {
+			t.Errorf("ByName(%q) resolved to %q, want avg", name, f.Name())
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("p99", 3)
+	if err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+	// The error must name the known aggregations so a trace author can fix
+	// the spec without reading source.
+	if !strings.Contains(err.Error(), "min") || !strings.Contains(err.Error(), "geomean") {
+		t.Errorf("error does not list the known names: %v", err)
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(byName) {
+		t.Fatalf("Names() returned %d entries, map has %d", len(names), len(byName))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package experiments is the reproduction harness: one registered
 // experiment per table, figure, or quantitative claim in the paper's
 // evaluation (E01–E17), plus the extension experiments measuring this
-// repo's engineering on top of the paper's model (E18–E25). Each
+// repo's engineering on top of the paper's model (E18–E26). Each
 // experiment runs the relevant algorithms on the relevant database family
 // and emits a printable table of paper-expected versus measured values;
 // cmd/experiments renders them, and docs/EXPERIMENTS.md catalogs what

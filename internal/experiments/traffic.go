@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"time"
+
+	"repro"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// E26 — beyond the paper: open-loop saturation. FLN's cost model prices a
+// single query; a serving system sees an arrival *process*, and the
+// defining property of open-loop traffic is that the offered load does not
+// slow down when the server does. The experiment generates Poisson traces
+// at increasing arrival rates over the same repeat-heavy cohort, replays
+// each through a persistent single-shard engine under the deterministic
+// virtual-time queue (requests are admitted at their recorded arrival
+// instants, one server), and tabulates queueing delay against per-request
+// service and charged cost. Below the service capacity queueing is
+// negligible; past it, queueing delay grows without bound while
+// per-request service time and charged cost stay flat — the work per
+// query is a property of the database and the algorithm, not of the
+// arrival rate, so saturation shows up purely as waiting. (The shared-scan
+// executor is deliberately not used here: its batch-of-8 admission adds a
+// batch-fill wait that *rises* as the rate falls, which is interesting but
+// a different story.)
+func init() {
+	register("E26", "Extension: open-loop saturation — queueing delay vs arrival rate on replayed Poisson traces", func() (*Table, error) {
+		tab := &Table{
+			ID:    "E26",
+			Title: "Replayed Poisson traces (120 requests, zipf-repeat cohort, k=10 avg) through a single-shard engine, one server, at rising arrival rates",
+			Paper: "Beyond the paper: FLN cost a query in isolation. Under open-loop arrivals the same per-query cost meets a queue: arrivals do not back off, so once the offered rate exceeds the service rate, delay is unbounded even though every individual query is as cheap as ever. The trace format makes the comparison exact — every rate replays the same request mix, only the timestamps differ.",
+			Columns: []string{
+				"rate (req/s)", "queue p50", "queue p99", "service p50", "service p99", "charged/req",
+			},
+		}
+		db, err := workload.Zipf(workload.Spec{N: 20000, M: 3, Seed: 42}, 1.2)
+		if err != nil {
+			return nil, err
+		}
+		for _, rate := range []float64{50, 500, 5000, 50000} {
+			cfg := traffic.Config{
+				Seed:        42,
+				MaxRequests: 120,
+				Cohorts: []traffic.Cohort{
+					{Name: "users",
+						Arrival:    traffic.ArrivalSpec{Kind: traffic.ArrivalPoisson, Rate: rate},
+						Population: traffic.Population{Kind: traffic.PopZipfRepeat, PoolSize: 16}},
+				},
+			}
+			reqs, err := traffic.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := repro.ReplayTrace(db, reqs, repro.ReplayOptions{Shards: 1, Workers: 1})
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(rate,
+				rep.Queue.P50.Round(time.Microsecond).String(),
+				rep.Queue.P99.Round(time.Microsecond).String(),
+				rep.Service.P50.Round(time.Microsecond).String(),
+				rep.Service.P99.Round(time.Microsecond).String(),
+				rep.Charged/float64(len(rep.Outcomes)))
+		}
+		tab.Note("measured: charged cost per request is identical at every rate (same request mix, same database — the cost model never sees the clock), and service quantiles stay in the same band; queueing delay is near zero while the arrival rate stays under the engine's service rate and grows by orders of magnitude past it. Absolute durations are host-dependent; the shape — flat service, flat cost, exploding queue — is the claim.")
+		return tab, nil
+	})
+}

@@ -1,0 +1,166 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ArrivalKind names an arrival process.
+type ArrivalKind string
+
+// Available arrival processes.
+const (
+	// ArrivalPoisson is a homogeneous Poisson process: independent
+	// exponential inter-arrival gaps at Rate arrivals per second — the
+	// open-loop baseline.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalDiurnal is an inhomogeneous Poisson process whose rate
+	// follows a repeating cycle of Phases — the multiperiod/diurnal
+	// pattern (quiet nights, busy evenings) compressed to whatever cycle
+	// length the phases sum to.
+	ArrivalDiurnal ArrivalKind = "diurnal"
+	// ArrivalBurst is an on/off process: Poisson at Rate inside on-windows
+	// of OnSpan, silent for OffSpan between them — the flash-crowd /
+	// batch-upload shape that stresses queues far beyond its average rate.
+	ArrivalBurst ArrivalKind = "burst"
+)
+
+// Phase is one segment of a diurnal cycle: Rate arrivals per second for
+// Span. Durations serialize as integer nanoseconds.
+type Phase struct {
+	Span time.Duration `json:"span_ns"`
+	Rate float64       `json:"rate"`
+}
+
+// ArrivalSpec configures one cohort's arrival process. Exactly the fields
+// of the selected Kind are read: Rate for poisson and burst, Phases for
+// diurnal, OnSpan/OffSpan for burst.
+type ArrivalSpec struct {
+	Kind ArrivalKind `json:"kind"`
+	// Rate is the mean arrival rate in requests per second (poisson), or
+	// the in-burst rate (burst).
+	Rate float64 `json:"rate,omitempty"`
+	// Phases is the diurnal cycle, repeated end to end.
+	Phases []Phase `json:"phases,omitempty"`
+	// OnSpan and OffSpan are the burst window and the silence between
+	// bursts.
+	OnSpan  time.Duration `json:"on_ns,omitempty"`
+	OffSpan time.Duration `json:"off_ns,omitempty"`
+}
+
+// finite rejects the float values a rate parameter must never be.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Validate rejects malformed arrival specs with ErrBadQuery.
+func (s ArrivalSpec) Validate() error {
+	switch s.Kind {
+	case ArrivalPoisson:
+		if !finite(s.Rate) || s.Rate <= 0 {
+			return fmt.Errorf("%w: poisson arrivals need a positive finite rate, got %g", core.ErrBadQuery, s.Rate)
+		}
+	case ArrivalDiurnal:
+		if len(s.Phases) == 0 {
+			return fmt.Errorf("%w: diurnal arrivals need at least one phase", core.ErrBadQuery)
+		}
+		anyPositive := false
+		for i, p := range s.Phases {
+			if p.Span <= 0 {
+				return fmt.Errorf("%w: diurnal phase %d needs a positive span, got %v", core.ErrBadQuery, i, p.Span)
+			}
+			if !finite(p.Rate) || p.Rate < 0 {
+				return fmt.Errorf("%w: diurnal phase %d needs a finite non-negative rate, got %g", core.ErrBadQuery, i, p.Rate)
+			}
+			if p.Rate > 0 {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return fmt.Errorf("%w: diurnal arrivals need at least one phase with a positive rate", core.ErrBadQuery)
+		}
+	case ArrivalBurst:
+		if !finite(s.Rate) || s.Rate <= 0 {
+			return fmt.Errorf("%w: burst arrivals need a positive finite in-burst rate, got %g", core.ErrBadQuery, s.Rate)
+		}
+		if s.OnSpan <= 0 {
+			return fmt.Errorf("%w: burst arrivals need a positive on-window, got %v", core.ErrBadQuery, s.OnSpan)
+		}
+		if s.OffSpan < 0 {
+			return fmt.Errorf("%w: burst off-window must be non-negative, got %v", core.ErrBadQuery, s.OffSpan)
+		}
+	default:
+		return fmt.Errorf("%w: unknown arrival kind %q", core.ErrBadQuery, s.Kind)
+	}
+	return nil
+}
+
+// phases normalizes every kind onto a piecewise-constant rate cycle:
+// poisson is one infinite-span phase, burst is an on-phase followed by an
+// off-phase at rate zero.
+func (s ArrivalSpec) phases() []Phase {
+	switch s.Kind {
+	case ArrivalDiurnal:
+		return s.Phases
+	case ArrivalBurst:
+		ph := []Phase{{Span: s.OnSpan, Rate: s.Rate}}
+		if s.OffSpan > 0 {
+			ph = append(ph, Phase{Span: s.OffSpan, Rate: 0})
+		}
+		return ph
+	default:
+		return []Phase{{Span: time.Second, Rate: s.Rate}}
+	}
+}
+
+// arrivalStream draws successive absolute arrival times for one cohort.
+// Inhomogeneous cycles use Lewis–Shedler thinning against the cycle's peak
+// rate: candidate arrivals are drawn from a homogeneous process at rmax and
+// accepted with probability rate(t)/rmax, which is exact for any
+// piecewise-constant rate function and needs no per-phase case analysis.
+type arrivalStream struct {
+	r      *rng
+	phases []Phase
+	cycle  time.Duration // sum of phase spans
+	rmax   float64
+	t      time.Duration // last emitted arrival time
+}
+
+func (s ArrivalSpec) stream(r *rng) *arrivalStream {
+	ph := s.phases()
+	st := &arrivalStream{r: r, phases: ph}
+	for _, p := range ph {
+		st.cycle += p.Span
+		if p.Rate > st.rmax {
+			st.rmax = p.Rate
+		}
+	}
+	return st
+}
+
+// rateAt evaluates the cycle's rate at absolute time t.
+func (st *arrivalStream) rateAt(t time.Duration) float64 {
+	if len(st.phases) == 1 {
+		return st.phases[0].Rate
+	}
+	off := t % st.cycle
+	for _, p := range st.phases {
+		if off < p.Span {
+			return p.Rate
+		}
+		off -= p.Span
+	}
+	return st.phases[len(st.phases)-1].Rate
+}
+
+// next returns the next absolute arrival time.
+func (st *arrivalStream) next() time.Duration {
+	for {
+		st.t += st.r.expDur(st.rmax)
+		rate := st.rateAt(st.t)
+		if rate >= st.rmax || st.r.float() < rate/st.rmax {
+			return st.t
+		}
+	}
+}

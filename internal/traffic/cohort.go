@@ -1,0 +1,233 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+// Algorithm names a QuerySpec may carry. The traffic layer stays
+// serializable, so algorithms are strings here; the executor maps them onto
+// engine options.
+const (
+	// AlgoTA is the threshold algorithm (the empty string aliases it).
+	AlgoTA = "TA"
+	// AlgoCostAwareTA is TA with CA-style cost-adaptive access planning.
+	AlgoCostAwareTA = "cost-aware-ta"
+	// AlgoNRA is the no-random-access algorithm.
+	AlgoNRA = "NRA"
+)
+
+// QuerySpec is one serializable top-k query: everything needed to rebuild
+// an engine-level query spec against a database, and nothing tied to a
+// process (no function values, no pointers). It is the unit a trace line
+// carries.
+type QuerySpec struct {
+	// Agg is the aggregation name, resolvable by agg.ByName.
+	Agg string `json:"agg"`
+	// K is the number of answers.
+	K int `json:"k"`
+	// Algo selects the algorithm: "" or "TA", "cost-aware-ta", "NRA".
+	Algo string `json:"algo,omitempty"`
+	// Theta > 1 asks for a θ-approximation; only plain TA supports it.
+	Theta float64 `json:"theta,omitempty"`
+}
+
+// Validate rejects malformed query specs with ErrBadQuery: unknown
+// aggregation or algorithm names, non-positive k, and NaN/±Inf or sub-1 θ.
+// It is the shared guard of the generator (nothing malformed is emitted)
+// and the trace reader (nothing malformed is replayed).
+func (q QuerySpec) Validate() error {
+	if _, err := agg.ByName(q.Agg, 2); err != nil {
+		return fmt.Errorf("%w: %v", core.ErrBadQuery, err)
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("%w: k must be positive, got %d", core.ErrBadQuery, q.K)
+	}
+	switch q.Algo {
+	case "", AlgoTA, AlgoCostAwareTA, AlgoNRA:
+	default:
+		return fmt.Errorf("%w: unknown algorithm %q (known: TA, cost-aware-ta, NRA)", core.ErrBadQuery, q.Algo)
+	}
+	if math.IsNaN(q.Theta) || math.IsInf(q.Theta, 0) {
+		return fmt.Errorf("%w: θ must be finite, got %g", core.ErrBadQuery, q.Theta)
+	}
+	if q.Theta != 0 && q.Theta < 1 {
+		return fmt.Errorf("%w: θ must be at least 1, got %g", core.ErrBadQuery, q.Theta)
+	}
+	if q.Theta > 1 && q.Algo != "" && q.Algo != AlgoTA {
+		return fmt.Errorf("%w: θ-approximation requires plain TA, got %q", core.ErrBadQuery, q.Algo)
+	}
+	return nil
+}
+
+// PopulationKind names a query-population model.
+type PopulationKind string
+
+// Available populations.
+const (
+	// PopZipfRepeat models repeat-heavy interactive users: specs are drawn
+	// from a fixed pool with Zipf-skewed popularity, so a small head of
+	// queries recurs constantly — the stream caches and shared scans feed
+	// on.
+	PopZipfRepeat PopulationKind = "zipf-repeat"
+	// PopCrawler models one-shot crawlers: every request draws a fresh
+	// uniform spec from the parameter grid, so repeats are incidental and
+	// rare — the stream that flushes naive caches.
+	PopCrawler PopulationKind = "crawler"
+)
+
+// Population configures how a cohort turns arrivals into query specs.
+// Zero-valued fields take the documented defaults.
+type Population struct {
+	Kind PopulationKind `json:"kind"`
+	// PoolSize is the number of distinct specs a zipf-repeat cohort draws
+	// from (default 64). Ignored by crawler cohorts.
+	PoolSize int `json:"pool_size,omitempty"`
+	// ZipfSkew shapes the pool popularity for zipf-repeat (default 2;
+	// larger = heavier head). Ignored by crawler cohorts.
+	ZipfSkew float64 `json:"zipf_skew,omitempty"`
+	// Ks, Aggs, Algos and Thetas are the candidate axes of the parameter
+	// grid specs are drawn from. Defaults: Ks {5, 10, 20}, Aggs
+	// {"avg", "min", "sum"}, Algos {"TA"}, Thetas {0}.
+	Ks     []int     `json:"ks,omitempty"`
+	Aggs   []string  `json:"aggs,omitempty"`
+	Algos  []string  `json:"algos,omitempty"`
+	Thetas []float64 `json:"thetas,omitempty"`
+}
+
+// withDefaults resolves the zero values.
+func (p Population) withDefaults() Population {
+	if p.PoolSize == 0 {
+		p.PoolSize = 64
+	}
+	if p.ZipfSkew == 0 {
+		p.ZipfSkew = 2
+	}
+	if len(p.Ks) == 0 {
+		p.Ks = []int{5, 10, 20}
+	}
+	if len(p.Aggs) == 0 {
+		p.Aggs = []string{"avg", "min", "sum"}
+	}
+	if len(p.Algos) == 0 {
+		p.Algos = []string{AlgoTA}
+	}
+	if len(p.Thetas) == 0 {
+		p.Thetas = []float64{0}
+	}
+	return p
+}
+
+// Validate rejects malformed populations with ErrBadQuery. Validation runs
+// on the defaulted view, so a zero Population is always valid.
+func (p Population) Validate() error {
+	d := p.withDefaults()
+	switch d.Kind {
+	case PopZipfRepeat, PopCrawler:
+	default:
+		return fmt.Errorf("%w: unknown population kind %q", core.ErrBadQuery, d.Kind)
+	}
+	if d.PoolSize < 1 {
+		return fmt.Errorf("%w: population pool size must be positive, got %d", core.ErrBadQuery, d.PoolSize)
+	}
+	if !finite(d.ZipfSkew) || d.ZipfSkew < 1 {
+		return fmt.Errorf("%w: zipf skew must be at least 1, got %g", core.ErrBadQuery, d.ZipfSkew)
+	}
+	for _, k := range d.Ks {
+		if k <= 0 {
+			return fmt.Errorf("%w: population k values must be positive, got %d", core.ErrBadQuery, k)
+		}
+	}
+	// Every grid cell must be a valid spec on its own: a population that
+	// could emit one malformed request is rejected whole, up front.
+	for _, a := range d.Aggs {
+		for _, al := range d.Algos {
+			for _, th := range d.Thetas {
+				q := QuerySpec{Agg: a, K: d.Ks[0], Algo: al, Theta: th}
+				if al != "" && al != AlgoTA && th > 1 {
+					continue // drawer forces θ=0 off plain TA; the cell is unreachable
+				}
+				if err := q.Validate(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drawer draws specs for one cohort. A zipf-repeat drawer materializes its
+// pool up front from the grid; a crawler drawer samples the grid fresh on
+// every call.
+type drawer struct {
+	pop  Population
+	r    *rng
+	pool []QuerySpec
+}
+
+func (p Population) drawer(r *rng) *drawer {
+	d := &drawer{pop: p.withDefaults(), r: r}
+	if d.pop.Kind == PopZipfRepeat {
+		d.pool = make([]QuerySpec, d.pop.PoolSize)
+		for i := range d.pool {
+			d.pool[i] = d.fresh()
+		}
+	}
+	return d
+}
+
+// fresh draws one uniform spec from the parameter grid.
+func (d *drawer) fresh() QuerySpec {
+	q := QuerySpec{
+		Agg:   d.pop.Aggs[d.r.intn(len(d.pop.Aggs))],
+		K:     d.pop.Ks[d.r.intn(len(d.pop.Ks))],
+		Algo:  d.pop.Algos[d.r.intn(len(d.pop.Algos))],
+		Theta: d.pop.Thetas[d.r.intn(len(d.pop.Thetas))],
+	}
+	// θ-approximation exists only on plain TA; other algorithms drop it
+	// rather than emit a spec the engine would reject.
+	if q.Algo != "" && q.Algo != AlgoTA {
+		q.Theta = 0
+	}
+	return q
+}
+
+// draw returns the next request's spec.
+func (d *drawer) draw() QuerySpec {
+	if d.pool == nil {
+		return d.fresh()
+	}
+	// Power-law popularity over the pool: u^skew concentrates the mass on
+	// the low indexes, the same inverse-CDF shaping the workload package
+	// uses for Zipf grades.
+	idx := int(float64(len(d.pool)) * math.Pow(d.r.float(), d.pop.ZipfSkew))
+	if idx >= len(d.pool) {
+		idx = len(d.pool) - 1
+	}
+	return d.pool[idx]
+}
+
+// Cohort composes an arrival process with a query population under a name
+// that tags every request it emits.
+type Cohort struct {
+	Name       string      `json:"name"`
+	Arrival    ArrivalSpec `json:"arrival"`
+	Population Population  `json:"population"`
+}
+
+// Validate rejects malformed cohorts with ErrBadQuery.
+func (c Cohort) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: cohort name must be non-empty", core.ErrBadQuery)
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return fmt.Errorf("cohort %q: %w", c.Name, err)
+	}
+	if err := c.Population.Validate(); err != nil {
+		return fmt.Errorf("cohort %q: %w", c.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"math"
+	"time"
+)
+
+// rng is the package's deterministic random stream: a SplitMix64 sequence,
+// the same mixer the access layer uses for latency jitter and fault
+// schedules. One rng per (cohort, purpose) keeps every stream independent
+// of how the others are consumed — drawing more arrivals for one cohort
+// never shifts another cohort's query population.
+type rng struct{ state uint64 }
+
+// newRNG decorrelates a sub-stream from the config seed: mixing the salt
+// through SplitMix64 first means adjacent cohort indexes land in unrelated
+// regions of the sequence.
+func newRNG(seed, salt uint64) *rng {
+	return &rng{state: mix64(seed + mix64(salt+1)*0x9e3779b97f4a7c15)}
+}
+
+// mix64 is the SplitMix64 output function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// expDur returns an exponential inter-arrival gap for the given rate in
+// arrivals per second. The 1−u flip keeps the argument of Log away from 0.
+func (r *rng) expDur(ratePerSec float64) time.Duration {
+	u := r.float()
+	return time.Duration(-math.Log(1-u) / ratePerSec * float64(time.Second))
+}

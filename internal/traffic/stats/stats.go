@@ -1,0 +1,197 @@
+// Package stats is the multi-seed statistical harness for performance
+// claims, after the BLIS experiment standards: a benchmark body runs once
+// per seed in a fixed matrix, and the per-seed effect sizes are summarized
+// (mean/min/max) and classified with directional-consistency gates instead
+// of being reported as a single-seed point estimate.
+//
+// The classification vocabulary, for an improvement ratio r (new/old
+// speedup, savings factor, hit-rate margin normalized to 1):
+//
+//   - Significant: r > 1.20 on every seed — a >20% win that survives the
+//     whole matrix.
+//   - Suggestive: r ≥ 1.10 on every seed but not significant — consistent,
+//     moderate.
+//   - Inconclusive: every seed improves, but at least one by <10% — too
+//     close to noise to claim.
+//   - Equivalent: every seed within ±5% of parity.
+//   - Mixed: seeds disagree on direction — the claim fails the
+//     directional-consistency gate outright.
+//   - Regression: every seed at or below parity.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Seeds is the canonical seed matrix. Three seeds is the floor the gates
+// require; experiments may extend the slice but never shrink it.
+var Seeds = []int64{42, 123, 456}
+
+// Sample is one seed's measurement of an effect size.
+type Sample struct {
+	Seed  int64
+	Value float64
+}
+
+// Summary is a multi-seed measurement of one named metric.
+type Summary struct {
+	Name    string
+	Samples []Sample
+}
+
+// Collect runs body once per seed and gathers the per-seed effect sizes.
+func Collect(name string, seeds []int64, body func(seed int64) float64) Summary {
+	s := Summary{Name: name, Samples: make([]Sample, 0, len(seeds))}
+	for _, seed := range seeds {
+		s.Samples = append(s.Samples, Sample{Seed: seed, Value: body(seed)})
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean across seeds.
+func (s Summary) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, sm := range s.Samples {
+		sum += sm.Value
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Min returns the smallest per-seed value.
+func (s Summary) Min() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	min := s.Samples[0].Value
+	for _, sm := range s.Samples[1:] {
+		if sm.Value < min {
+			min = sm.Value
+		}
+	}
+	return min
+}
+
+// Max returns the largest per-seed value.
+func (s Summary) Max() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	max := s.Samples[0].Value
+	for _, sm := range s.Samples[1:] {
+		if sm.Value > max {
+			max = sm.Value
+		}
+	}
+	return max
+}
+
+// CheckFloor returns an error naming every seed whose value falls below
+// floor. A floor gate holds only when ALL seeds clear it — one
+// contradicting seed fails the whole claim, which is the
+// directional-consistency rule applied to a guard threshold.
+func (s Summary) CheckFloor(floor float64) error {
+	return s.check(func(v float64) bool { return v >= floor }, fmt.Sprintf("below floor %g", floor))
+}
+
+// CheckCeiling is CheckFloor's dual: every seed must stay at or under
+// ceiling.
+func (s Summary) CheckCeiling(ceiling float64) error {
+	return s.check(func(v float64) bool { return v <= ceiling }, fmt.Sprintf("above ceiling %g", ceiling))
+}
+
+func (s Summary) check(ok func(float64) bool, what string) error {
+	var bad []Sample
+	for _, sm := range s.Samples {
+		if !ok(sm.Value) {
+			bad = append(bad, sm)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].Seed < bad[j].Seed })
+	msg := fmt.Sprintf("%s: %d/%d seeds %s:", s.Name, len(bad), len(s.Samples), what)
+	for _, sm := range bad {
+		msg += fmt.Sprintf(" seed %d → %.4g;", sm.Seed, sm.Value)
+	}
+	return fmt.Errorf("%s", msg[:len(msg)-1])
+}
+
+// Verdict classifies a multi-seed improvement ratio.
+type Verdict string
+
+// The verdicts, strongest claim first.
+const (
+	Significant  Verdict = "significant"
+	Suggestive   Verdict = "suggestive"
+	Inconclusive Verdict = "inconclusive"
+	Equivalent   Verdict = "equivalent"
+	Mixed        Verdict = "mixed"
+	Regression   Verdict = "regression"
+)
+
+// Effect-size thresholds, as ratios.
+const (
+	significantRatio = 1.20 // >20% improvement
+	suggestiveRatio  = 1.10 // ≥10% improvement
+	equivalentBand   = 0.05 // ±5% of parity
+)
+
+// Classify applies the BLIS-style gates to a summary of improvement ratios
+// (values above 1 are wins). Directional consistency is checked first: if
+// seeds disagree on the direction of the effect, the verdict is Mixed no
+// matter how large the mean looks.
+func (s Summary) Classify() Verdict {
+	if len(s.Samples) == 0 {
+		return Inconclusive
+	}
+	allWithinBand := true
+	anyUp, anyDown := false, false
+	for _, sm := range s.Samples {
+		if sm.Value < 1-equivalentBand || sm.Value > 1+equivalentBand {
+			allWithinBand = false
+		}
+		if sm.Value > 1 {
+			anyUp = true
+		}
+		if sm.Value < 1 {
+			anyDown = true
+		}
+	}
+	if allWithinBand {
+		return Equivalent
+	}
+	if anyUp && anyDown {
+		return Mixed
+	}
+	if !anyUp {
+		return Regression
+	}
+	allSignificant, anyInconclusive := true, false
+	for _, sm := range s.Samples {
+		if sm.Value <= significantRatio {
+			allSignificant = false
+		}
+		if sm.Value < suggestiveRatio {
+			anyInconclusive = true
+		}
+	}
+	switch {
+	case allSignificant:
+		return Significant
+	case anyInconclusive:
+		return Inconclusive
+	default:
+		return Suggestive
+	}
+}
+
+// String renders the summary the way the bench log reports it.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: mean %.4g, min %.4g, max %.4g over %d seeds (%s)",
+		s.Name, s.Mean(), s.Min(), s.Max(), len(s.Samples), s.Classify())
+}

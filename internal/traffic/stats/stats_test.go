@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func summaryOf(vals ...float64) Summary {
+	s := Summary{Name: "test"}
+	for i, v := range vals {
+		s.Samples = append(s.Samples, Sample{Seed: int64(i + 1), Value: v})
+	}
+	return s
+}
+
+func TestSeedMatrix(t *testing.T) {
+	if len(Seeds) < 3 {
+		t.Fatalf("the seed matrix has %d seeds; the gates require at least 3", len(Seeds))
+	}
+	want := map[int64]bool{42: true, 123: true, 456: true}
+	for _, s := range Seeds {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Fatalf("canonical seeds missing from the matrix: %v", want)
+	}
+}
+
+func TestCollectAndMoments(t *testing.T) {
+	calls := []int64{}
+	s := Collect("metric", []int64{42, 123, 456}, func(seed int64) float64 {
+		calls = append(calls, seed)
+		return float64(seed)
+	})
+	if len(calls) != 3 || calls[0] != 42 || calls[1] != 123 || calls[2] != 456 {
+		t.Fatalf("body ran with seeds %v", calls)
+	}
+	if got := s.Mean(); got != (42+123+456)/3.0 {
+		t.Errorf("mean %g", got)
+	}
+	if s.Min() != 42 || s.Max() != 456 {
+		t.Errorf("min %g max %g", s.Min(), s.Max())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want Verdict
+	}{
+		{[]float64{1.5, 1.3, 1.21}, Significant},
+		{[]float64{1.5, 1.3, 1.20}, Suggestive},   // one seed exactly at the 20% line
+		{[]float64{1.15, 1.12, 1.11}, Suggestive}, // consistent but moderate
+		{[]float64{1.5, 1.3, 1.07}, Inconclusive}, // one seed under 10%
+		{[]float64{1.02, 0.99, 1.04}, Equivalent}, // all within ±5%
+		{[]float64{1.4, 0.8, 1.3}, Mixed},         // directional inconsistency
+		{[]float64{0.7, 0.9, 0.85}, Regression},
+		{[]float64{1.0, 1.0, 1.0}, Equivalent},
+		{nil, Inconclusive},
+	}
+	for _, c := range cases {
+		if got := summaryOf(c.vals...).Classify(); got != c.want {
+			t.Errorf("Classify(%v) = %s, want %s", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestFloorAndCeiling(t *testing.T) {
+	s := summaryOf(2.4, 2.1, 2.9)
+	if err := s.CheckFloor(2.0); err != nil {
+		t.Errorf("floor 2.0 should pass: %v", err)
+	}
+	err := s.CheckFloor(2.2)
+	if err == nil {
+		t.Fatal("floor 2.2 should fail: seed 2 measured 2.1")
+	}
+	if !strings.Contains(err.Error(), "seed 2") {
+		t.Errorf("error does not name the contradicting seed: %v", err)
+	}
+	if err := s.CheckCeiling(3.0); err != nil {
+		t.Errorf("ceiling 3.0 should pass: %v", err)
+	}
+	if err := s.CheckCeiling(2.5); err == nil {
+		t.Fatal("ceiling 2.5 should fail: seed 3 measured 2.9")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := summaryOf(1.5, 1.3, 1.25).String()
+	for _, want := range []string{"test:", "mean", "min 1.25", "max 1.5", "3 seeds", string(Significant)} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package traffic
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// The trace format: one JSON header line, then one JSON Request per line.
+// The header pins the magic, the format version, and the request count; the
+// count is what lets Replay detect a truncated file. Marshaling uses
+// encoding/json with field order fixed by the struct definitions, so
+// recording the same request stream twice yields byte-identical files.
+const (
+	traceMagic   = "topk-traffic"
+	traceVersion = 1
+)
+
+type traceHeader struct {
+	Trace    string `json:"trace"`
+	Version  int    `json:"version"`
+	Requests int    `json:"requests"`
+}
+
+// Record writes the request stream to w in the versioned JSONL trace
+// format.
+func Record(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Trace: traceMagic, Version: traceVersion, Requests: len(reqs)}); err != nil {
+		return err
+	}
+	for _, req := range reqs {
+		if err := enc.Encode(req); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RecordBytes renders the request stream as trace bytes.
+func RecordBytes(reqs []Request) []byte {
+	var buf bytes.Buffer
+	// bytes.Buffer writes cannot fail and Request marshaling has no error
+	// path (plain fields only), so the error is structurally nil.
+	if err := Record(&buf, reqs); err != nil {
+		panic(fmt.Sprintf("traffic: recording to a buffer failed: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Replay parses a trace back into its request stream, validating as it
+// goes: magic and version, one well-formed Request per line with no unknown
+// fields, sequence numbers matching line order, non-negative monotone
+// arrival times, and every spec passing the same validation the generator
+// enforces. Every rejection wraps ErrBadQuery; no input byte stream causes
+// a panic.
+func Replay(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: trace is empty", core.ErrBadQuery)
+	}
+	var hdr traceHeader
+	if err := strictUnmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("%w: bad trace header: %v", core.ErrBadQuery, err)
+	}
+	if hdr.Trace != traceMagic {
+		return nil, fmt.Errorf("%w: not a %s trace (magic %q)", core.ErrBadQuery, traceMagic, hdr.Trace)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported trace version %d (this build reads version %d)", core.ErrBadQuery, hdr.Version, traceVersion)
+	}
+	if hdr.Requests < 0 {
+		return nil, fmt.Errorf("%w: negative request count %d in trace header", core.ErrBadQuery, hdr.Requests)
+	}
+
+	reqs := make([]Request, 0, hdr.Requests)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var req Request
+		if err := strictUnmarshal(line, &req); err != nil {
+			return nil, fmt.Errorf("%w: bad trace line %d: %v", core.ErrBadQuery, len(reqs)+1, err)
+		}
+		if req.Seq != len(reqs) {
+			return nil, fmt.Errorf("%w: trace line %d carries sequence number %d", core.ErrBadQuery, len(reqs)+1, req.Seq)
+		}
+		if req.At < 0 {
+			return nil, fmt.Errorf("%w: request %d has negative arrival time %v", core.ErrBadQuery, req.Seq, req.At)
+		}
+		if len(reqs) > 0 && req.At < reqs[len(reqs)-1].At {
+			return nil, fmt.Errorf("%w: request %d arrives at %v, before request %d at %v", core.ErrBadQuery, req.Seq, req.At, req.Seq-1, reqs[len(reqs)-1].At)
+		}
+		if req.Cohort == "" {
+			return nil, fmt.Errorf("%w: request %d has no cohort", core.ErrBadQuery, req.Seq)
+		}
+		if err := req.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("request %d: %w", req.Seq, err)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) != hdr.Requests {
+		return nil, fmt.Errorf("%w: trace truncated: header promises %d requests, found %d", core.ErrBadQuery, hdr.Requests, len(reqs))
+	}
+	return reqs, nil
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing garbage. NaN and ±Inf are not representable in JSON, so a trace
+// carrying them fails here as a parse error.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		//lint:notbadquery parse-layer detail; Replay wraps every decode failure in ErrBadQuery
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

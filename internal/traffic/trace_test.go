@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestTraceRoundTrip: record→replay→record is byte-identical for every
+// generated config — the exactness pin of the trace format.
+func TestTraceRoundTrip(t *testing.T) {
+	configs := map[string]Config{
+		"mix":   mixConfig(42, 500),
+		"empty": {Seed: 1, Horizon: time.Nanosecond, Cohorts: mixConfig(1, 10).Cohorts},
+		"single": {Seed: 3, MaxRequests: 64, Cohorts: []Cohort{
+			{Name: "only", Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 50},
+				Population: Population{Kind: PopZipfRepeat, Thetas: []float64{0, 1.25}}},
+		}},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			reqs, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw := RecordBytes(reqs)
+			back, err := Replay(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if len(back) != len(reqs) {
+				t.Fatalf("replayed %d requests, recorded %d", len(back), len(reqs))
+			}
+			for i := range reqs {
+				if reqs[i] != back[i] {
+					t.Fatalf("request %d changed across the round trip: %+v vs %+v", i, reqs[i], back[i])
+				}
+			}
+			if again := RecordBytes(back); !bytes.Equal(raw, again) {
+				t.Fatal("re-recording the replayed stream is not byte-identical")
+			}
+		})
+	}
+}
+
+// validTrace builds a well-formed two-request trace the corruption tests
+// mutate.
+func validTrace(t *testing.T) []byte {
+	t.Helper()
+	reqs := []Request{
+		{Seq: 0, At: 0, Cohort: "u", Spec: QuerySpec{Agg: "avg", K: 3}},
+		{Seq: 1, At: time.Millisecond, Cohort: "u", Spec: QuerySpec{Agg: "min", K: 5, Algo: AlgoNRA}},
+	}
+	return RecordBytes(reqs)
+}
+
+// TestReplayRejectsMalformed: every corruption is rejected with a wrapped
+// ErrBadQuery — and none of them panics.
+func TestReplayRejectsMalformed(t *testing.T) {
+	base := string(validTrace(t))
+	lines := strings.SplitAfter(strings.TrimSuffix(base, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("fixture has %d lines, want 3", len(lines))
+	}
+	cases := map[string]string{
+		"empty input":       "",
+		"blank line only":   "\n",
+		"not json":          "this is not a trace\n",
+		"wrong magic":       `{"trace":"access-log","version":1,"requests":0}` + "\n",
+		"future version":    `{"trace":"topk-traffic","version":2,"requests":0}` + "\n",
+		"negative count":    `{"trace":"topk-traffic","version":1,"requests":-4}` + "\n",
+		"unknown hdr field": `{"trace":"topk-traffic","version":1,"requests":0,"shards":4}` + "\n",
+		"truncated":         lines[0] + lines[1], // header promises 2, file carries 1
+		"half a line":       lines[0] + lines[1] + lines[2][:len(lines[2])/2],
+		"extra request":     base + lines[2],
+		"garbled line":      lines[0] + "{not json}\n" + lines[2],
+		"unknown field":     lines[0] + `{"seq":0,"at_ns":0,"cohort":"u","spec":{"agg":"avg","k":3},"color":"red"}` + "\n" + lines[2],
+		"seq mismatch":      lines[0] + strings.Replace(lines[1], `"seq":0`, `"seq":7`, 1) + lines[2],
+		"negative at":       lines[0] + strings.Replace(lines[1], `"at_ns":0`, `"at_ns":-5`, 1) + lines[2],
+		"time reversal":     lines[0] + strings.Replace(lines[1], `"at_ns":0`, `"at_ns":9000000`, 1) + lines[2],
+		"missing cohort":    lines[0] + strings.Replace(lines[1], `"cohort":"u"`, `"cohort":""`, 1) + lines[2],
+		"negative k":        lines[0] + strings.Replace(lines[1], `"k":3`, `"k":-3`, 1) + lines[2],
+		"zero k":            lines[0] + strings.Replace(lines[1], `"k":3`, `"k":0`, 1) + lines[2],
+		"unknown agg":       lines[0] + strings.Replace(lines[1], `"agg":"avg"`, `"agg":"p99"`, 1) + lines[2],
+		"unknown algo":      lines[0] + strings.Replace(lines[2], `"algo":"NRA"`, `"algo":"BPA"`, 1),
+		"nan theta":         lines[0] + strings.Replace(lines[1], `"k":3`, `"k":3,"theta":NaN`, 1) + lines[2],
+		"inf theta":         lines[0] + strings.Replace(lines[1], `"k":3`, `"k":3,"theta":1e999`, 1) + lines[2],
+		"sub-1 theta":       lines[0] + strings.Replace(lines[1], `"k":3`, `"k":3,"theta":0.5`, 1) + lines[2],
+		"theta on NRA":      lines[0] + lines[1] + strings.Replace(lines[2], `"algo":"NRA"`, `"algo":"NRA","theta":1.5`, 1),
+		"trailing garbage":  lines[0] + strings.TrimSuffix(lines[1], "\n") + ` {"x":1}` + "\n" + lines[2],
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Replay panicked: %v", r)
+				}
+			}()
+			reqs, err := Replay(strings.NewReader(input))
+			if err == nil {
+				t.Fatalf("accepted malformed trace, returned %d requests", len(reqs))
+			}
+			if !errors.Is(err, core.ErrBadQuery) {
+				t.Fatalf("got %v, want a wrapped ErrBadQuery", err)
+			}
+		})
+	}
+}
+
+// TestReplayNeverPanics is a cheap structured fuzz over byte-level
+// corruptions of a valid trace: truncations at every boundary, single-byte
+// flips through the whole file. Replay must return — with any error — not
+// panic.
+func TestReplayNeverPanics(t *testing.T) {
+	raw := validTrace(t)
+	try := func(input []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Replay panicked on %q: %v", input, r)
+			}
+		}()
+		_, _ = Replay(bytes.NewReader(input))
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		try(raw[:cut])
+	}
+	for i := 0; i < len(raw); i++ {
+		mutated := append([]byte{}, raw...)
+		mutated[i] ^= 0x20
+		try(mutated)
+	}
+}
+
+// TestReplayTolerantDetails: blank interior lines are ignored, and a valid
+// trace with exotic-but-legal specs replays.
+func TestReplayTolerantDetails(t *testing.T) {
+	reqs := []Request{
+		{Seq: 0, At: 0, Cohort: "a", Spec: QuerySpec{Agg: "geomean", K: 1, Algo: AlgoTA, Theta: 3}},
+		{Seq: 1, At: 0, Cohort: "b", Spec: QuerySpec{Agg: "median", K: 2, Algo: AlgoCostAwareTA}},
+	}
+	raw := string(RecordBytes(reqs))
+	lines := strings.SplitAfter(strings.TrimSuffix(raw, "\n"), "\n")
+	padded := lines[0] + "\n" + lines[1] + "\n\n" + lines[2]
+	back, err := Replay(strings.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != reqs[0] || back[1] != reqs[1] {
+		t.Fatalf("replayed %+v, want %+v", back, reqs)
+	}
+}
+
+// TestRecordWriterErrors: Record propagates sink failures instead of
+// losing them in the buffered writer.
+func TestRecordWriterErrors(t *testing.T) {
+	reqs, err := Generate(mixConfig(5, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &failAfter{n: 100}
+	if err := Record(w, reqs); err == nil {
+		t.Fatal("Record swallowed the sink error")
+	}
+}
+
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n -= len(p); f.n < 0 {
+		return 0, fmt.Errorf("sink full")
+	}
+	return len(p), nil
+}

@@ -1,0 +1,308 @@
+package traffic
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// mixConfig is the reference config the generation tests share: three
+// cohorts covering every arrival kind and both populations.
+func mixConfig(seed uint64, n int) Config {
+	return Config{
+		Seed:        seed,
+		MaxRequests: n,
+		Cohorts: []Cohort{
+			{Name: "users",
+				Arrival:    ArrivalSpec{Kind: ArrivalPoisson, Rate: 500},
+				Population: Population{Kind: PopZipfRepeat, PoolSize: 16}},
+			{Name: "nightly",
+				Arrival: ArrivalSpec{Kind: ArrivalDiurnal, Phases: []Phase{
+					{Span: 40 * time.Millisecond, Rate: 50},
+					{Span: 20 * time.Millisecond, Rate: 900},
+				}},
+				Population: Population{Kind: PopZipfRepeat, PoolSize: 4, Algos: []string{AlgoNRA}}},
+			{Name: "crawlers",
+				Arrival:    ArrivalSpec{Kind: ArrivalBurst, Rate: 2000, OnSpan: 10 * time.Millisecond, OffSpan: 40 * time.Millisecond},
+				Population: Population{Kind: PopCrawler, Ks: []int{3, 7}, Algos: []string{AlgoTA, AlgoCostAwareTA}}},
+		},
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	reqs, err := Generate(mixConfig(7, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 600 {
+		t.Fatalf("got %d requests, want 600", len(reqs))
+	}
+	byCohort := map[string]int{}
+	for i, r := range reqs {
+		if r.Seq != i {
+			t.Fatalf("request %d carries Seq %d", i, r.Seq)
+		}
+		if r.At < 0 {
+			t.Fatalf("request %d has negative arrival %v", i, r.At)
+		}
+		if i > 0 && r.At < reqs[i-1].At {
+			t.Fatalf("request %d at %v arrives before request %d at %v", i, r.At, i-1, reqs[i-1].At)
+		}
+		if err := r.Spec.Validate(); err != nil {
+			t.Fatalf("request %d spec invalid: %v", i, err)
+		}
+		byCohort[r.Cohort]++
+	}
+	for _, name := range []string{"users", "nightly", "crawlers"} {
+		if byCohort[name] == 0 {
+			t.Errorf("cohort %q emitted no requests", name)
+		}
+	}
+}
+
+// TestGenerateDeterministic: same Config + seed ⇒ identical requests and a
+// byte-identical recorded trace (the Type-1 determinism property).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 123, 456} {
+		a, err := Generate(mixConfig(seed, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(mixConfig(seed, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(RecordBytes(a), RecordBytes(b)) {
+			t.Fatalf("seed %d: two generations of the same config differ", seed)
+		}
+	}
+	a, _ := Generate(mixConfig(42, 400))
+	b, _ := Generate(mixConfig(43, 400))
+	if bytes.Equal(RecordBytes(a), RecordBytes(b)) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateCohortIndependence: adding a cohort must not perturb the
+// requests an existing cohort emits (each cohort owns decorrelated rng
+// sub-streams).
+func TestGenerateCohortIndependence(t *testing.T) {
+	solo := Config{Seed: 9, Horizon: 200 * time.Millisecond, Cohorts: []Cohort{
+		{Name: "users", Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 300},
+			Population: Population{Kind: PopZipfRepeat}},
+	}}
+	both := solo
+	both.Cohorts = append([]Cohort{}, solo.Cohorts...)
+	both.Cohorts = append(both.Cohorts, Cohort{
+		Name:       "extra",
+		Arrival:    ArrivalSpec{Kind: ArrivalPoisson, Rate: 700},
+		Population: Population{Kind: PopCrawler},
+	})
+	a, err := Generate(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usersOnly []Request
+	for _, r := range b {
+		if r.Cohort == "users" {
+			usersOnly = append(usersOnly, r)
+		}
+	}
+	if len(usersOnly) != len(a) {
+		t.Fatalf("users cohort emitted %d requests alone, %d in the mix", len(a), len(usersOnly))
+	}
+	for i := range a {
+		if a[i].At != usersOnly[i].At || a[i].Spec != usersOnly[i].Spec {
+			t.Fatalf("users request %d differs with the extra cohort present: %+v vs %+v", i, a[i], usersOnly[i])
+		}
+	}
+}
+
+// TestPoissonRate: the empirical rate of a Poisson stream lands near the
+// configured one.
+func TestPoissonRate(t *testing.T) {
+	cfg := Config{Seed: 11, Horizon: 2 * time.Second, Cohorts: []Cohort{
+		{Name: "u", Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 1000},
+			Population: Population{Kind: PopCrawler}},
+	}}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(reqs)) / 2
+	if got < 900 || got > 1100 {
+		t.Fatalf("empirical rate %.0f req/s, want ≈1000", got)
+	}
+}
+
+// TestBurstWindows: a burst process emits only inside its on-windows.
+func TestBurstWindows(t *testing.T) {
+	on, off := 10*time.Millisecond, 30*time.Millisecond
+	cfg := Config{Seed: 13, Horizon: time.Second, Cohorts: []Cohort{
+		{Name: "b", Arrival: ArrivalSpec{Kind: ArrivalBurst, Rate: 3000, OnSpan: on, OffSpan: off},
+			Population: Population{Kind: PopCrawler}},
+	}}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("burst cohort emitted nothing")
+	}
+	cycle := on + off
+	for _, r := range reqs {
+		if phase := r.At % cycle; phase >= on {
+			t.Fatalf("request at %v lands %v into the cycle, outside the %v on-window", r.At, phase, on)
+		}
+	}
+}
+
+// TestDiurnalShape: the high-rate phase of a diurnal cycle receives
+// proportionally more arrivals than the low-rate phase.
+func TestDiurnalShape(t *testing.T) {
+	cfg := Config{Seed: 17, Horizon: 2 * time.Second, Cohorts: []Cohort{
+		{Name: "d", Arrival: ArrivalSpec{Kind: ArrivalDiurnal, Phases: []Phase{
+			{Span: 50 * time.Millisecond, Rate: 100},
+			{Span: 50 * time.Millisecond, Rate: 1900},
+		}},
+			Population: Population{Kind: PopCrawler}},
+	}}
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi int
+	for _, r := range reqs {
+		if r.At%(100*time.Millisecond) < 50*time.Millisecond {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if hi < 10*lo {
+		t.Fatalf("peak phase got %d arrivals vs %d in the quiet phase; want ≈19x", hi, lo)
+	}
+}
+
+// TestPopulationCharacter: zipf-repeat cohorts concentrate on few distinct
+// specs; crawler cohorts spread across the grid.
+func TestPopulationCharacter(t *testing.T) {
+	gen := func(pop Population) map[QuerySpec]int {
+		cfg := Config{Seed: 19, MaxRequests: 500, Cohorts: []Cohort{
+			{Name: "c", Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 100}, Population: pop},
+		}}
+		reqs, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[QuerySpec]int{}
+		for _, r := range reqs {
+			seen[r.Spec]++
+		}
+		return seen
+	}
+	repeat := gen(Population{Kind: PopZipfRepeat, PoolSize: 32})
+	if len(repeat) > 32 {
+		t.Fatalf("zipf-repeat emitted %d distinct specs from a pool of 32", len(repeat))
+	}
+	top := 0
+	for _, n := range repeat {
+		if n > top {
+			top = n
+		}
+	}
+	if top < 50 {
+		t.Fatalf("zipf-repeat head spec appeared %d/500 times; want a heavy head (≥50)", top)
+	}
+	crawl := gen(Population{Kind: PopCrawler, Ks: []int{1, 2, 3, 4, 5, 6, 7, 8}, Thetas: []float64{0, 1.5, 2}})
+	if len(crawl) < 3*len(repeat)/2 {
+		t.Fatalf("crawler emitted only %d distinct specs vs zipf-repeat's %d", len(crawl), len(repeat))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]Config{
+		"no cohorts":       {Seed: 1, Horizon: time.Second},
+		"no stop":          {Seed: 1, Cohorts: mixConfig(1, 10).Cohorts},
+		"negative horizon": {Seed: 1, Horizon: -time.Second, Cohorts: mixConfig(1, 10).Cohorts},
+		"negative cap":     {Seed: 1, MaxRequests: -1, Cohorts: mixConfig(1, 10).Cohorts},
+		"duplicate names": {Seed: 1, MaxRequests: 5, Cohorts: []Cohort{
+			mixConfig(1, 10).Cohorts[0], mixConfig(2, 10).Cohorts[0],
+		}},
+		"unnamed cohort": {Seed: 1, MaxRequests: 5, Cohorts: []Cohort{
+			{Arrival: ArrivalSpec{Kind: ArrivalPoisson, Rate: 1}, Population: Population{Kind: PopCrawler}},
+		}},
+	}
+	for name, cfg := range cases {
+		if _, err := Generate(cfg); !errors.Is(err, core.ErrBadQuery) {
+			t.Errorf("%s: got %v, want ErrBadQuery", name, err)
+		}
+	}
+}
+
+func TestArrivalValidation(t *testing.T) {
+	inf := math.Inf(1)
+	bad := []ArrivalSpec{
+		{Kind: "tidal", Rate: 1},
+		{Kind: ArrivalPoisson},
+		{Kind: ArrivalPoisson, Rate: -3},
+		{Kind: ArrivalPoisson, Rate: inf},
+		{Kind: ArrivalDiurnal},
+		{Kind: ArrivalDiurnal, Phases: []Phase{{Span: 0, Rate: 1}}},
+		{Kind: ArrivalDiurnal, Phases: []Phase{{Span: time.Second, Rate: -1}}},
+		{Kind: ArrivalDiurnal, Phases: []Phase{{Span: time.Second, Rate: 0}}},
+		{Kind: ArrivalBurst, Rate: 100, OnSpan: 0},
+		{Kind: ArrivalBurst, Rate: 100, OnSpan: time.Second, OffSpan: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, core.ErrBadQuery) {
+			t.Errorf("case %d (%+v): got %v, want ErrBadQuery", i, s, err)
+		}
+	}
+	good := []ArrivalSpec{
+		{Kind: ArrivalPoisson, Rate: 0.5},
+		{Kind: ArrivalDiurnal, Phases: []Phase{{Span: time.Second, Rate: 0}, {Span: time.Second, Rate: 2}}},
+		{Kind: ArrivalBurst, Rate: 100, OnSpan: time.Second},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d (%+v): unexpected error %v", i, s, err)
+		}
+	}
+}
+
+func TestQuerySpecValidation(t *testing.T) {
+	bad := []QuerySpec{
+		{Agg: "p99", K: 5},
+		{Agg: "avg", K: 0},
+		{Agg: "avg", K: -2},
+		{Agg: "avg", K: 5, Algo: "BPA"},
+		{Agg: "avg", K: 5, Theta: 0.5},
+		{Agg: "avg", K: 5, Algo: AlgoNRA, Theta: 1.5},
+		{Agg: "avg", K: 5, Algo: AlgoCostAwareTA, Theta: 2},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); !errors.Is(err, core.ErrBadQuery) {
+			t.Errorf("case %d (%+v): got %v, want ErrBadQuery", i, q, err)
+		}
+	}
+	good := []QuerySpec{
+		{Agg: "avg", K: 5},
+		{Agg: "MIN", K: 1, Algo: AlgoTA, Theta: 1.5},
+		{Agg: "sum", K: 3, Algo: AlgoCostAwareTA},
+		{Agg: "geomean", K: 2, Algo: AlgoNRA},
+	}
+	for i, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("case %d (%+v): unexpected error %v", i, q, err)
+		}
+	}
+}
